@@ -1,0 +1,118 @@
+//===- bench/BenchSupport.cpp ---------------------------------------------===//
+
+#include "BenchSupport.h"
+
+#include "reduce/Metrics.h"
+#include "support/TextTable.h"
+
+#include <algorithm>
+#include <ostream>
+
+using namespace rmd;
+using namespace rmd::bench;
+
+ClassMachine rmd::bench::prepareClassMachine(const MachineDescription &MD) {
+  ClassMachine CM;
+  CM.Flat = expandAlternatives(MD).Flat;
+  ForbiddenLatencyMatrix FlatFLM = ForbiddenLatencyMatrix::compute(CM.Flat);
+  CM.Partition = partitionOperationClasses(FlatFLM);
+  CM.Classes = buildClassMachine(CM.Flat, CM.Partition);
+
+  ForbiddenLatencyMatrix ClassFLM =
+      ForbiddenLatencyMatrix::compute(CM.Classes);
+  CM.CanonicalLatencies = ClassFLM.canonicalCount();
+  CM.TotalLatencyEntries = ClassFLM.totalEntries();
+  CM.MaxLatency = ClassFLM.maxAbsoluteLatency();
+  return CM;
+}
+
+std::vector<ReductionColumn>
+rmd::bench::buildReductionColumns(const MachineDescription &ClassMD) {
+  std::vector<ReductionColumn> Columns;
+
+  // Column 1: the original description. Its word metric uses the densest
+  // packing its resource count allows in a 64-bit word.
+  unsigned OrigK = ClassMD.numResources() <= 64
+                       ? cyclesPerWord(ClassMD.numResources(), 64)
+                       : 1;
+  Columns.push_back(ReductionColumn{"original", ClassMD, OrigK});
+
+  // Column 2: res-uses reduction (discrete representation).
+  ReductionResult ResUses = reduceMachine(ClassMD);
+  size_t ReducedResources = ResUses.Reduced.numResources();
+  Columns.push_back(
+      ReductionColumn{"res-uses", ResUses.Reduced,
+                      cyclesPerWord(std::max<size_t>(ReducedResources, 1),
+                                    64)});
+
+  // Word columns: k = 1, then the maximal packings for 32- and 64-bit
+  // words given the reduced resource count.
+  std::vector<unsigned> Ks = {1};
+  if (ReducedResources > 0) {
+    Ks.push_back(cyclesPerWord(ReducedResources, 32));
+    Ks.push_back(cyclesPerWord(ReducedResources, 64));
+  }
+  std::sort(Ks.begin(), Ks.end());
+  Ks.erase(std::unique(Ks.begin(), Ks.end()), Ks.end());
+
+  for (unsigned K : Ks) {
+    ReductionOptions Options;
+    Options.Objective = SelectionObjective::wordUses(K);
+    ReductionResult Word = reduceMachine(ClassMD, Options);
+    Columns.push_back(ReductionColumn{
+        std::to_string(K) + "-cycle-word", Word.Reduced, K});
+  }
+  return Columns;
+}
+
+void rmd::bench::printReductionTable(std::ostream &OS,
+                                     const std::string &Title,
+                                     const ClassMachine &CM) {
+  OS << Title << '\n';
+  OS << "  " << CM.Classes.numOperations() << " operation classes, "
+     << CM.CanonicalLatencies << " forbidden latencies (canonical; "
+     << CM.TotalLatencyEntries << " matrix entries, all <= "
+     << CM.MaxLatency << ")\n\n";
+
+  std::vector<ReductionColumn> Columns = buildReductionColumns(CM.Classes);
+
+  TextTable T;
+  T.row();
+  T.cell("objective");
+  for (const ReductionColumn &C : Columns)
+    T.cell(C.Label);
+
+  T.row();
+  T.cell("number of resources");
+  for (const ReductionColumn &C : Columns)
+    T.cellInt(static_cast<long long>(C.Description.numResources()));
+
+  T.row();
+  T.cell("avg resource usages / operation");
+  for (const ReductionColumn &C : Columns)
+    T.cell(averageResUsesPerOperation(C.Description), 1);
+
+  T.row();
+  T.cell("avg word usages / operation");
+  for (const ReductionColumn &C : Columns)
+    T.cell(averageWordUsesPerOperation(C.Description, C.MetricK), 1);
+
+  T.row();
+  T.cell("(word metric k)");
+  for (const ReductionColumn &C : Columns)
+    T.cellInt(C.MetricK);
+
+  T.print(OS);
+
+  // The paper's memory headline: bits of reserved-table state per cycle.
+  OS << "\nreserved-table state: original " << CM.Classes.numResources()
+     << " bits/cycle vs reduced "
+     << Columns[1].Description.numResources() << " bits/cycle ("
+     << formatFixed(100.0 *
+                        static_cast<double>(
+                            Columns[1].Description.numResources()) /
+                        static_cast<double>(
+                            std::max<size_t>(CM.Classes.numResources(), 1)),
+                    0)
+     << "% of original)\n";
+}

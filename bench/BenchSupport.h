@@ -1,0 +1,60 @@
+//===- bench/BenchSupport.h - Shared harness for paper tables --*- C++ -*-===//
+///
+/// \file
+/// Shared plumbing for the table-reproduction binaries: class-machine
+/// preparation (the paper reports everything per operation class) and the
+/// Tables 1-4 printer (resources / res-usages / word-usages for the
+/// original description and the res-uses and k-cycle-word reductions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMD_BENCH_BENCHSUPPORT_H
+#define RMD_BENCH_BENCHSUPPORT_H
+
+#include "flm/OperationClasses.h"
+#include "machines/MachineModel.h"
+#include "reduce/Reduction.h"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rmd {
+namespace bench {
+
+/// A machine prepared for class-level experiments.
+struct ClassMachine {
+  MachineDescription Flat;    ///< expanded machine (alternative operations)
+  MachineDescription Classes; ///< one representative per operation class
+  OperationClasses Partition;
+  size_t CanonicalLatencies = 0;
+  size_t TotalLatencyEntries = 0;
+  int MaxLatency = 0;
+};
+
+/// Expands \p MD and quotients it by contention classes.
+ClassMachine prepareClassMachine(const MachineDescription &MD);
+
+/// One column of a reduction table.
+struct ReductionColumn {
+  std::string Label;
+  MachineDescription Description;
+  unsigned MetricK = 1; ///< k used for the word-usage metric row
+};
+
+/// Builds the paper's column set for \p ClassMD: original, res-uses, and
+/// k-cycle-word reductions for k = 1 and the maximal packings at 32 and 64
+/// bits (duplicates removed).
+std::vector<ReductionColumn> buildReductionColumns(
+    const MachineDescription &ClassMD);
+
+/// Prints a Tables 1-4 style block: header line with class/latency counts,
+/// then rows "number of resources", "average resource usages / operation",
+/// "average word usages / operation".
+void printReductionTable(std::ostream &OS, const std::string &Title,
+                         const ClassMachine &CM);
+
+} // namespace bench
+} // namespace rmd
+
+#endif // RMD_BENCH_BENCHSUPPORT_H

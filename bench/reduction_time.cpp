@@ -1,0 +1,93 @@
+//===- bench/reduction_time.cpp - Reduction & automaton build cost --------===//
+//
+// google-benchmark timings for the offline costs: running the full
+// reduction pipeline (forbidden latency matrix, Algorithm 1, pruning,
+// selection) per machine and objective, against building the baseline
+// finite-state automata. The paper reports 11 minutes on a SPARC-20 for
+// the Cydra 5; the reproduction's shape statement is simply that automated
+// reduction is cheap enough to run on every machine-description change.
+//
+//===----------------------------------------------------------------------===//
+
+#include "automaton/PipelineAutomaton.h"
+#include "machines/MachineModel.h"
+#include "reduce/Reduction.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace rmd;
+
+namespace {
+
+MachineDescription flatFor(int Index) {
+  switch (Index) {
+  case 0:
+    return expandAlternatives(makeCydra5().MD).Flat;
+  case 1:
+    return expandAlternatives(makeMipsR3000().MD).Flat;
+  default:
+    return expandAlternatives(makeAlpha21064().MD).Flat;
+  }
+}
+
+const char *machineName(int Index) {
+  switch (Index) {
+  case 0:
+    return "cydra5";
+  case 1:
+    return "mips";
+  default:
+    return "alpha";
+  }
+}
+
+void BM_ReduceResUses(benchmark::State &State) {
+  MachineDescription Flat = flatFor(static_cast<int>(State.range(0)));
+  State.SetLabel(machineName(static_cast<int>(State.range(0))));
+  for (auto _ : State) {
+    (void)_;
+    ReductionResult R = reduceMachine(Flat);
+    benchmark::DoNotOptimize(R.Reduced.numResources());
+  }
+}
+
+void BM_ReduceWord64(benchmark::State &State) {
+  MachineDescription Flat = flatFor(static_cast<int>(State.range(0)));
+  State.SetLabel(machineName(static_cast<int>(State.range(0))));
+  ReductionOptions Options;
+  Options.Objective = SelectionObjective::wordUses(4);
+  for (auto _ : State) {
+    (void)_;
+    ReductionResult R = reduceMachine(Flat, Options);
+    benchmark::DoNotOptimize(R.Reduced.numResources());
+  }
+}
+
+void BM_ForbiddenLatencyMatrix(benchmark::State &State) {
+  MachineDescription Flat = flatFor(static_cast<int>(State.range(0)));
+  State.SetLabel(machineName(static_cast<int>(State.range(0))));
+  for (auto _ : State) {
+    (void)_;
+    ForbiddenLatencyMatrix FLM = ForbiddenLatencyMatrix::compute(Flat);
+    benchmark::DoNotOptimize(FLM.totalEntries());
+  }
+}
+
+void BM_AutomatonBuild(benchmark::State &State) {
+  MachineDescription Flat = flatFor(static_cast<int>(State.range(0)));
+  State.SetLabel(machineName(static_cast<int>(State.range(0))));
+  for (auto _ : State) {
+    (void)_;
+    auto A = PipelineAutomaton::build(Flat, 1u << 22);
+    benchmark::DoNotOptimize(A.has_value() ? A->numStates() : 0);
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_ForbiddenLatencyMatrix)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_ReduceResUses)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ReduceWord64)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AutomatonBuild)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,248 @@
+//===- automaton/AutomatonQuery.cpp ---------------------------------------===//
+
+#include "automaton/AutomatonQuery.h"
+
+#include "support/FatalError.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace rmd;
+
+/// Unwraps an automaton build, aborting on state-space overflow (the
+/// caller opted into the automaton representation; there is no fallback).
+static PipelineAutomaton takeOrDie(std::optional<PipelineAutomaton> A) {
+  if (!A)
+    fatalError("automaton construction exceeded the state cap; use a "
+               "reservation-table query module for this machine");
+  return std::move(*A);
+}
+
+AutomatonQueryModule::AutomatonQueryModule(const MachineDescription &TheMD,
+                                           int TheHorizon, size_t StateCap)
+    : MD(TheMD), Horizon(TheHorizon),
+      Forward(takeOrDie(PipelineAutomaton::build(TheMD, StateCap))),
+      Reverse(takeOrDie(PipelineAutomaton::buildReverse(TheMD, StateCap))) {
+  assert(MD.isExpanded() && "query module requires an expanded machine");
+  assert(Horizon > 0 && "horizon must be positive");
+  IssuedAt.resize(Horizon);
+  EndsAt.resize(Horizon);
+  ForwardBefore.assign(static_cast<size_t>(Horizon) + 1,
+                       Forward.initialState());
+  ReverseBefore.assign(static_cast<size_t>(Horizon),
+                       Reverse.initialState());
+}
+
+AutomatonQueryModule::StateId
+AutomatonQueryModule::issueForwardOps(StateId State, int Cycle,
+                                      uint64_t &Units) const {
+  for (const Issue &I : IssuedAt[Cycle]) {
+    ++Units;
+    std::optional<StateId> Next = Forward.issue(State, I.Op);
+    if (!Next)
+      fatalError("scheduled operations conflict in the forward automaton; "
+                 "the cached states are corrupt");
+    State = *Next;
+  }
+  return State;
+}
+
+AutomatonQueryModule::StateId
+AutomatonQueryModule::issueReverseOps(StateId State, int Cycle,
+                                      uint64_t &Units) const {
+  for (const Issue &I : EndsAt[Cycle]) {
+    ++Units;
+    std::optional<StateId> Next = Reverse.issue(State, I.Op);
+    if (!Next)
+      fatalError("scheduled operations conflict in the reverse automaton; "
+                 "the cached states are corrupt");
+    State = *Next;
+  }
+  return State;
+}
+
+bool AutomatonQueryModule::pairwiseConflict(OpId A, int CA, OpId B, int CB,
+                                            uint64_t &Units) const {
+  // Replay the earlier-issued op, advance to the later issue cycle, then
+  // try to issue the later op.
+  if (CA > CB) {
+    std::swap(A, B);
+    std::swap(CA, CB);
+  }
+  ++Units;
+  std::optional<StateId> S = Forward.issue(Forward.initialState(), A);
+  assert(S.has_value() && "single issue from the initial state must work");
+  StateId State = *S;
+  for (int C = CA; C < CB; ++C) {
+    ++Units;
+    State = Forward.advance(State);
+  }
+  ++Units;
+  return !Forward.issue(State, B).has_value();
+}
+
+bool AutomatonQueryModule::checkImpl(OpId Op, int Cycle,
+                                     uint64_t &Units) const {
+  int Len = MD.operation(Op).table().length();
+  if (Cycle < 0 || Cycle + Len > Horizon)
+    return false;
+  if (Len == 0)
+    return true; // no resources, no conflicts
+
+  // Forward side: operations issued at cycles <= Cycle.
+  StateId F = issueForwardOps(ForwardBefore[Cycle], Cycle, Units);
+  ++Units;
+  if (!Forward.issue(F, Op))
+    return false;
+
+  // Reverse side: operations ending at cycles >= this op's end.
+  int End = Cycle + Len - 1;
+  StateId R = issueReverseOps(ReverseBefore[End], End, Units);
+  ++Units;
+  if (!Reverse.issue(R, Op))
+    return false;
+
+  // Nested operations -- issued after Cycle but ending before End -- are
+  // visible to neither automaton; test them pairwise. This bookkeeping is
+  // intrinsic to supporting arbitrary-order insertion with automata.
+  for (int C = Cycle + 1; C <= End; ++C)
+    for (const Issue &I : IssuedAt[C]) {
+      if (endCycle(I.Op, C) >= End)
+        continue; // covered by the reverse automaton
+      if (pairwiseConflict(Op, Cycle, I.Op, C, Units))
+        return false;
+    }
+  return true;
+}
+
+bool AutomatonQueryModule::check(OpId Op, int Cycle) {
+  ++Counters.CheckCalls;
+  return checkImpl(Op, Cycle, Counters.CheckUnits);
+}
+
+uint64_t AutomatonQueryModule::propagate(int IssueCycle, int EndCycle) {
+  uint64_t Units = 0;
+
+  // Forward: recompute states above IssueCycle until they re-converge.
+  for (int C = IssueCycle + 1; C <= Horizon; ++C) {
+    StateId S = issueForwardOps(ForwardBefore[C - 1], C - 1, Units);
+    ++Units;
+    S = Forward.advance(S);
+    if (S == ForwardBefore[C])
+      break;
+    ForwardBefore[C] = S;
+  }
+
+  // Reverse: recompute states below EndCycle until they re-converge.
+  for (int E = std::min(EndCycle, Horizon - 1) - 1; E >= 0; --E) {
+    StateId S = issueReverseOps(ReverseBefore[E + 1], E + 1, Units);
+    ++Units;
+    S = Reverse.advance(S);
+    if (S == ReverseBefore[E])
+      break;
+    ReverseBefore[E] = S;
+  }
+  return Units;
+}
+
+void AutomatonQueryModule::assign(OpId Op, int Cycle, InstanceId Instance) {
+  ++Counters.AssignCalls;
+  [[maybe_unused]] uint64_t ProbeUnits = 0;
+  assert(checkImpl(Op, Cycle, ProbeUnits) &&
+         "assign over a conflicting placement; use assignAndFree");
+  int Len = MD.operation(Op).table().length();
+  if (Len > 0) {
+    IssuedAt[Cycle].push_back(Issue{Op, Instance});
+    EndsAt[Cycle + Len - 1].push_back(Issue{Op, Instance});
+  }
+  [[maybe_unused]] bool Inserted =
+      Instances.emplace(Instance, InstanceInfo{Op, Cycle}).second;
+  assert(Inserted && "instance id already scheduled");
+  if (Len > 0)
+    Counters.AssignUnits += propagate(Cycle, Cycle + Len - 1);
+}
+
+void AutomatonQueryModule::detach(InstanceId Instance) {
+  auto It = Instances.find(Instance);
+  assert(It != Instances.end() && "detaching an unscheduled instance");
+  OpId Op = It->second.Op;
+  int Cycle = It->second.Cycle;
+  int Len = MD.operation(Op).table().length();
+
+  auto Remove = [&](std::vector<Issue> &List) {
+    auto Pos = std::find_if(List.begin(), List.end(), [&](const Issue &I) {
+      return I.Instance == Instance;
+    });
+    assert(Pos != List.end() && "instance missing from its index");
+    List.erase(Pos);
+  };
+  if (Len > 0) {
+    Remove(IssuedAt[Cycle]);
+    Remove(EndsAt[Cycle + Len - 1]);
+  }
+  Instances.erase(It);
+}
+
+void AutomatonQueryModule::free(OpId Op, int Cycle, InstanceId Instance) {
+  ++Counters.FreeCalls;
+  int Len = MD.operation(Op).table().length();
+  detach(Instance);
+  if (Len > 0)
+    Counters.FreeUnits += propagate(Cycle, Cycle + Len - 1);
+}
+
+void AutomatonQueryModule::assignAndFree(OpId Op, int Cycle,
+                                         InstanceId Instance,
+                                         std::vector<InstanceId> &Evicted) {
+  ++Counters.AssignFreeCalls;
+  int Len = MD.operation(Op).table().length();
+  if (Cycle < 0 || Cycle + Len > Horizon)
+    fatalError("assignAndFree outside the automaton module's horizon");
+
+  if (!checkImpl(Op, Cycle, Counters.AssignFreeUnits)) {
+    // Identify the conflict set by pairwise replay of every scheduled
+    // operation whose span can overlap the new one (no owner fields exist
+    // in this representation).
+    int Window = MD.maxTableLength();
+    int Lo = std::max(0, Cycle - Window + 1);
+    int Hi = std::min(Horizon - 1, Cycle + Len - 1);
+    std::vector<InstanceId> Victims;
+    for (int C = Lo; C <= Hi; ++C)
+      for (const Issue &I : IssuedAt[C])
+        if (pairwiseConflict(Op, Cycle, I.Op, C,
+                             Counters.AssignFreeUnits))
+          Victims.push_back(I.Instance);
+    assert(!Victims.empty() && "check failed but no pairwise conflict");
+    for (InstanceId Victim : Victims) {
+      InstanceInfo Info = Instances.at(Victim);
+      int VLen = MD.operation(Info.Op).table().length();
+      detach(Victim);
+      Counters.AssignFreeUnits +=
+          propagate(Info.Cycle, Info.Cycle + VLen - 1);
+      Evicted.push_back(Victim);
+    }
+  }
+
+  if (Len > 0) {
+    IssuedAt[Cycle].push_back(Issue{Op, Instance});
+    EndsAt[Cycle + Len - 1].push_back(Issue{Op, Instance});
+  }
+  [[maybe_unused]] bool Inserted =
+      Instances.emplace(Instance, InstanceInfo{Op, Cycle}).second;
+  assert(Inserted && "instance id already scheduled");
+  if (Len > 0)
+    Counters.AssignFreeUnits += propagate(Cycle, Cycle + Len - 1);
+}
+
+void AutomatonQueryModule::reset() {
+  for (auto &List : IssuedAt)
+    List.clear();
+  for (auto &List : EndsAt)
+    List.clear();
+  std::fill(ForwardBefore.begin(), ForwardBefore.end(),
+            Forward.initialState());
+  std::fill(ReverseBefore.begin(), ReverseBefore.end(),
+            Reverse.initialState());
+  Instances.clear();
+  Counters.reset();
+}

@@ -1,0 +1,139 @@
+//===- automaton/AutomatonQuery.h - FSA-based query module -----*- C++ -*-===//
+///
+/// \file
+/// A contention query module built on a forward/reverse pair of finite
+/// state automata, implementing the unrestricted-scheduling protocol of
+/// Bala & Rubin (MICRO-28 '95) that the paper compares against (Section
+/// 2):
+///
+///   - one forward-automaton state and one reverse-automaton state are
+///     cached per schedule cycle;
+///   - the forward state at cycle c accepts an operation iff it is free of
+///     conflicts with operations issued at cycles <= c; the reverse state
+///     (anchored at the operation's *last* occupied cycle e, where the
+///     descending scan issues each op) covers operations ending at cycles
+///     >= e; operations *nested* strictly inside the new op's span are
+///     covered by neither automaton and require explicit pairwise replays
+///     -- part of the bookkeeping overhead the paper attributes to
+///     automaton approaches under unrestricted scheduling;
+///   - an insertion or removal changes the resource requirements seen by
+///     adjacent cycles, so the cached states must be re-propagated in both
+///     directions (stopping once states re-converge);
+///   - assign&free -- evicting whichever operations conflict -- has no
+///     direct automaton analogue ("appears to be more difficult", Section
+///     2): it is emulated by pairwise-replaying nearby scheduled
+///     operations to identify the conflict set.
+///
+/// One *work unit* is one automaton table lookup (an issue or advance
+/// transition), the automaton counterpart of the paper's per-usage /
+/// per-word unit. The module answers every query exactly like the
+/// reservation-table modules (asserted by property tests); the point of
+/// the comparison is the work and state it takes to do so.
+///
+/// Linear addressing over a fixed horizon only: modulo wraparound has no
+/// finite-automaton formulation, which is one of the paper's arguments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMD_AUTOMATON_AUTOMATONQUERY_H
+#define RMD_AUTOMATON_AUTOMATONQUERY_H
+
+#include "automaton/PipelineAutomaton.h"
+#include "query/QueryModule.h"
+
+#include <unordered_map>
+
+namespace rmd {
+
+/// Forward+reverse automaton contention query module.
+class AutomatonQueryModule : public ContentionQueryModule {
+public:
+  /// Builds both automata for \p MD (expanded; tables within 64 cycles)
+  /// over schedule cycles [0, Horizon). Construction cost is *not*
+  /// counted as query work. Aborts if either automaton exceeds
+  /// \p StateCap states.
+  AutomatonQueryModule(const MachineDescription &MD, int Horizon,
+                       size_t StateCap = (1u << 22));
+
+  bool check(OpId Op, int Cycle) override;
+  void assign(OpId Op, int Cycle, InstanceId Instance) override;
+  void free(OpId Op, int Cycle, InstanceId Instance) override;
+  void assignAndFree(OpId Op, int Cycle, InstanceId Instance,
+                     std::vector<InstanceId> &Evicted) override;
+  void reset() override;
+
+  /// Bytes of per-cycle cached automaton state (the paper's memory
+  /// comparison: two states per schedule cycle).
+  size_t cachedStateBytes() const {
+    return 2 * static_cast<size_t>(Horizon) *
+           sizeof(PipelineAutomaton::StateId);
+  }
+
+  /// Bytes of the two transition tables.
+  size_t tableBytes() const {
+    return Forward.tableBytes() + Reverse.tableBytes();
+  }
+
+private:
+  using StateId = PipelineAutomaton::StateId;
+
+  struct Issue {
+    OpId Op;
+    InstanceId Instance;
+  };
+
+  /// Last cycle occupied by \p Op issued at \p Cycle (== Cycle - 1 for an
+  /// empty table).
+  int endCycle(OpId Op, int Cycle) const {
+    return Cycle + MD.operation(Op).table().length() - 1;
+  }
+
+  /// Issues, in the forward automaton, every op issued at \p Cycle.
+  StateId issueForwardOps(StateId State, int Cycle, uint64_t &Units) const;
+
+  /// Issues, in the reverse automaton, every op *ending* at \p Cycle.
+  StateId issueReverseOps(StateId State, int Cycle, uint64_t &Units) const;
+
+  /// Pairwise conflict test by replaying \p A-at-CA then \p B-at-CB
+  /// through the forward automaton from the initial state.
+  bool pairwiseConflict(OpId A, int CA, OpId B, int CB,
+                        uint64_t &Units) const;
+
+  /// Recomputes the forward cache above \p IssueCycle and the reverse
+  /// cache below \p EndCycle, stopping early on re-convergence. Returns
+  /// lookups performed.
+  uint64_t propagate(int IssueCycle, int EndCycle);
+
+  /// The uncounted core of check(); \p Units accumulates lookups.
+  bool checkImpl(OpId Op, int Cycle, uint64_t &Units) const;
+
+  /// Removes \p Instance from the issue/end indexes (no propagation).
+  void detach(InstanceId Instance);
+
+  const MachineDescription &MD;
+  int Horizon;
+  PipelineAutomaton Forward;
+  PipelineAutomaton Reverse;
+
+  /// Operations indexed by issue cycle and by last-occupied cycle.
+  std::vector<std::vector<Issue>> IssuedAt;
+  std::vector<std::vector<Issue>> EndsAt;
+
+  /// ForwardBefore[c]: forward state before issuing cycle c's operations
+  /// (size Horizon + 1).
+  std::vector<StateId> ForwardBefore;
+
+  /// ReverseBefore[e]: reverse state of the descending scan before issuing
+  /// the operations that end at cycle e (size Horizon).
+  std::vector<StateId> ReverseBefore;
+
+  struct InstanceInfo {
+    OpId Op;
+    int Cycle;
+  };
+  std::unordered_map<InstanceId, InstanceInfo> Instances;
+};
+
+} // namespace rmd
+
+#endif // RMD_AUTOMATON_AUTOMATONQUERY_H

@@ -1,0 +1,130 @@
+//===- automaton/PipelineAutomaton.cpp ------------------------------------===//
+
+#include "automaton/PipelineAutomaton.h"
+
+#include <cassert>
+#include <deque>
+#include <set>
+#include <unordered_map>
+
+using namespace rmd;
+
+namespace {
+
+/// A pending-usage matrix: one 64-bit row of future cycles per resource.
+using PendingState = std::vector<uint64_t>;
+
+struct PendingStateHash {
+  size_t operator()(const PendingState &S) const {
+    uint64_t H = 0xcbf29ce484222325ull;
+    for (uint64_t W : S) {
+      H ^= W;
+      H *= 0x100000001b3ull;
+    }
+    return static_cast<size_t>(H);
+  }
+};
+
+} // namespace
+
+std::optional<PipelineAutomaton>
+PipelineAutomaton::buildImpl(const MachineDescription &MD, size_t StateCap,
+                             bool ReverseTables) {
+  assert(MD.isExpanded() && "automaton requires an expanded machine");
+  if (MD.maxTableLength() > 64)
+    return std::nullopt; // beyond the 64-cycle horizon of this encoding
+
+  size_t NumOps = MD.numOperations();
+  size_t NumRes = MD.numResources();
+
+  // Per-op pending masks. Reverse tables are mirrored about each
+  // operation's own span (cycle u -> len-1-u), so a reverse scan issues an
+  // operation at its *last* occupied cycle.
+  std::vector<PendingState> OpMask(NumOps, PendingState(NumRes, 0));
+  for (OpId Op = 0; Op < NumOps; ++Op) {
+    ReservationTable RT = MD.operation(Op).table();
+    if (ReverseTables)
+      RT = RT.reversed();
+    for (const ResourceUsage &U : RT.usages())
+      OpMask[Op][U.Resource] |= 1ull << U.Cycle;
+  }
+
+  std::unordered_map<PendingState, uint32_t, PendingStateHash> Interned;
+  std::vector<PendingState> States;
+  auto intern = [&](const PendingState &S) -> int64_t {
+    auto [It, Inserted] = Interned.emplace(S, Interned.size());
+    if (Inserted) {
+      States.push_back(S);
+      if (States.size() > StateCap)
+        return -1;
+    }
+    return It->second;
+  };
+
+  [[maybe_unused]] int64_t Initial = intern(PendingState(NumRes, 0));
+  assert(Initial == 0 && "initial state must be state 0");
+
+  std::vector<int32_t> IssueTable;
+  std::vector<uint32_t> AdvanceTable;
+
+  // BFS; States grows as transitions intern new targets.
+  for (size_t Current = 0; Current < States.size(); ++Current) {
+    // Copy: States may reallocate while interning successors.
+    PendingState S = States[Current];
+
+    for (OpId Op = 0; Op < NumOps; ++Op) {
+      bool Hazard = false;
+      for (size_t R = 0; R < NumRes && !Hazard; ++R)
+        Hazard = (S[R] & OpMask[Op][R]) != 0;
+      if (Hazard) {
+        IssueTable.push_back(-1);
+        continue;
+      }
+      PendingState Next = S;
+      for (size_t R = 0; R < NumRes; ++R)
+        Next[R] |= OpMask[Op][R];
+      int64_t Target = intern(Next);
+      if (Target < 0)
+        return std::nullopt;
+      IssueTable.push_back(static_cast<int32_t>(Target));
+    }
+
+    PendingState Advanced = S;
+    for (size_t R = 0; R < NumRes; ++R)
+      Advanced[R] >>= 1;
+    int64_t Target = intern(Advanced);
+    if (Target < 0)
+      return std::nullopt;
+    AdvanceTable.push_back(static_cast<uint32_t>(Target));
+  }
+
+  PipelineAutomaton A;
+  A.NumOps = NumOps;
+  A.IssueTable = std::move(IssueTable);
+  A.AdvanceTable = std::move(AdvanceTable);
+  return A;
+}
+
+std::optional<PipelineAutomaton>
+PipelineAutomaton::build(const MachineDescription &MD, size_t StateCap) {
+  return buildImpl(MD, StateCap, /*ReverseTables=*/false);
+}
+
+std::optional<PipelineAutomaton>
+PipelineAutomaton::buildReverse(const MachineDescription &MD,
+                                size_t StateCap) {
+  return buildImpl(MD, StateCap, /*ReverseTables=*/true);
+}
+
+size_t PipelineAutomaton::numIssueTransitions() const {
+  size_t Count = 0;
+  for (int32_t T : IssueTable)
+    if (T >= 0)
+      ++Count;
+  return Count;
+}
+
+size_t PipelineAutomaton::numCycleAdvancingStates() const {
+  std::set<StateId> Targets(AdvanceTable.begin(), AdvanceTable.end());
+  return Targets.size();
+}

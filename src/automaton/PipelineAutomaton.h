@@ -1,0 +1,101 @@
+//===- automaton/PipelineAutomaton.h - FSA baseline ------------*- C++ -*-===//
+///
+/// \file
+/// The finite-state-automaton approach to contention detection (Davidson et
+/// al. '75; Proebsting & Fraser POPL'94; Müller MICRO-26; Bala & Rubin
+/// MICRO-28), implemented as the paper's comparison baseline (Section 2,
+/// and the state-count/memory comparisons of Section 6).
+///
+/// A state is the set of *pending* resource commitments of the in-flight
+/// operations, relative to the current cycle: a bitset over (resource,
+/// future cycle). Issuing an operation is legal iff its reservation table
+/// does not intersect the pending set; advancing a cycle shifts every
+/// pending row down by one. States are interned, so the reachable state
+/// space is enumerated exactly (the minimal forward automaton of
+/// Proebsting-Fraser recognizes the same language).
+///
+/// The *reverse* automaton (Bala & Rubin) is the forward automaton of the
+/// time-mirrored machine description; buildReverse() constructs it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMD_AUTOMATON_PIPELINEAUTOMATON_H
+#define RMD_AUTOMATON_PIPELINEAUTOMATON_H
+
+#include "mdesc/MachineDescription.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace rmd {
+
+/// A contention-recognizing finite-state automaton over an expanded
+/// machine description.
+class PipelineAutomaton {
+public:
+  /// State handle; state 0 is the empty (idle) state.
+  using StateId = uint32_t;
+
+  /// Builds the forward automaton of \p MD by BFS over reachable states.
+  /// Returns std::nullopt if more than \p StateCap states are reached (the
+  /// automata state-explosion problem the paper discusses). Requires every
+  /// reservation table to fit a 64-cycle horizon.
+  static std::optional<PipelineAutomaton>
+  build(const MachineDescription &MD, size_t StateCap = (1u << 20));
+
+  /// Builds the reverse automaton: the forward automaton of \p MD with
+  /// every reservation table mirrored about its own span (cycle u maps to
+  /// len-1-u). A descending scan issues each operation at its *last*
+  /// occupied cycle; AutomatonQueryModule builds its per-cycle reverse
+  /// state cache on this convention.
+  static std::optional<PipelineAutomaton>
+  buildReverse(const MachineDescription &MD, size_t StateCap = (1u << 20));
+
+  StateId initialState() const { return 0; }
+
+  /// Attempts to issue \p Op in the current cycle of \p State; returns the
+  /// successor state, or std::nullopt on a structural hazard.
+  std::optional<StateId> issue(StateId State, OpId Op) const {
+    int32_t Next = IssueTable[State * NumOps + Op];
+    if (Next < 0)
+      return std::nullopt;
+    return static_cast<StateId>(Next);
+  }
+
+  /// Advances \p State by one cycle.
+  StateId advance(StateId State) const { return AdvanceTable[State]; }
+
+  size_t numStates() const { return AdvanceTable.size(); }
+  size_t numOperations() const { return NumOps; }
+
+  /// Number of defined issue transitions (excludes hazard entries).
+  size_t numIssueTransitions() const;
+
+  /// Number of distinct cycle-advance target states (Bala & Rubin's
+  /// "cycle-advancing states").
+  size_t numCycleAdvancingStates() const;
+
+  /// Transition-table footprint in bytes: (NumOps + 1) entries of 4 bytes
+  /// per state. This is the quantity that explodes for complex machines.
+  size_t tableBytes() const {
+    return numStates() * (NumOps + 1) * sizeof(int32_t);
+  }
+
+private:
+  PipelineAutomaton() = default;
+
+  static std::optional<PipelineAutomaton>
+  buildImpl(const MachineDescription &MD, size_t StateCap,
+            bool ReverseTables);
+
+  size_t NumOps = 0;
+  /// IssueTable[state * NumOps + op] = next state or -1 (hazard).
+  std::vector<int32_t> IssueTable;
+  /// AdvanceTable[state] = state after one cycle.
+  std::vector<StateId> AdvanceTable;
+};
+
+} // namespace rmd
+
+#endif // RMD_AUTOMATON_PIPELINEAUTOMATON_H

@@ -1,0 +1,110 @@
+//===- flm/ForbiddenLatencyMatrix.cpp -------------------------------------===//
+
+#include "flm/ForbiddenLatencyMatrix.h"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+using namespace rmd;
+
+ForbiddenLatencyMatrix::ForbiddenLatencyMatrix(size_t NumOperations)
+    : NumOps(NumOperations), Sets(NumOperations * NumOperations) {}
+
+ForbiddenLatencyMatrix
+ForbiddenLatencyMatrix::compute(const MachineDescription &MD) {
+  assert(MD.isExpanded() &&
+         "forbidden latencies require an expanded (single-alternative) "
+         "machine; call expandAlternatives() first");
+  size_t NumOps = MD.numOperations();
+  ForbiddenLatencyMatrix FLM(NumOps);
+
+  // Per-resource usage lists: Resource -> [(op, cycle)].
+  std::map<ResourceId, std::vector<std::pair<OpId, int>>> ByResource;
+  for (OpId Op = 0; Op < NumOps; ++Op)
+    for (const ResourceUsage &U : MD.operation(Op).table().usages())
+      ByResource[U.Resource].push_back({Op, U.Cycle});
+
+  // Equation (1): for usages (X, x) and (Y, y) of one resource, X cannot be
+  // scheduled (y - x) cycles after Y.
+  for (const auto &[Resource, Usages] : ByResource) {
+    (void)Resource;
+    for (const auto &[X, Cx] : Usages)
+      for (const auto &[Y, Cy] : Usages)
+        FLM.getMutable(X, Y).insert(Cy - Cx);
+  }
+  return FLM;
+}
+
+void ForbiddenLatencyMatrix::insert(OpId X, OpId Y, int Latency) {
+  getMutable(X, Y).insert(Latency);
+  getMutable(Y, X).insert(-Latency);
+}
+
+size_t ForbiddenLatencyMatrix::totalEntries() const {
+  size_t Total = 0;
+  for (const LatencySet &S : Sets)
+    Total += S.size();
+  return Total;
+}
+
+size_t ForbiddenLatencyMatrix::canonicalCount() const {
+  size_t Count = 0;
+  for (OpId X = 0; X < NumOps; ++X)
+    for (OpId Y = 0; Y < NumOps; ++Y)
+      for (int F : get(X, Y)) {
+        if (F > 0 || (F == 0 && X <= Y))
+          ++Count;
+      }
+  return Count;
+}
+
+std::vector<ForbiddenLatency>
+ForbiddenLatencyMatrix::canonicalLatencies() const {
+  std::vector<ForbiddenLatency> Result;
+  for (OpId X = 0; X < NumOps; ++X)
+    for (OpId Y = 0; Y < NumOps; ++Y)
+      for (int F : get(X, Y)) {
+        if (F > 0 || (F == 0 && X <= Y))
+          Result.push_back(ForbiddenLatency{X, Y, F});
+      }
+  std::sort(Result.begin(), Result.end());
+  return Result;
+}
+
+int ForbiddenLatencyMatrix::maxAbsoluteLatency() const {
+  int MaxAbs = 0;
+  for (const LatencySet &S : Sets)
+    for (int F : S)
+      MaxAbs = std::max(MaxAbs, F < 0 ? -F : F);
+  return MaxAbs;
+}
+
+bool ForbiddenLatencyMatrix::isAntisymmetric() const {
+  for (OpId X = 0; X < NumOps; ++X)
+    for (OpId Y = 0; Y < NumOps; ++Y)
+      if (!(get(X, Y).negated() == get(Y, X)))
+        return false;
+  return true;
+}
+
+void ForbiddenLatencyMatrix::print(std::ostream &OS,
+                                   const MachineDescription &MD) const {
+  assert(MD.numOperations() == NumOps && "machine does not match matrix");
+  for (OpId X = 0; X < NumOps; ++X)
+    for (OpId Y = 0; Y < NumOps; ++Y) {
+      const LatencySet &S = get(X, Y);
+      if (S.empty())
+        continue;
+      OS << "F(" << MD.operation(X).Name << ", " << MD.operation(Y).Name
+         << ") = {";
+      bool First = true;
+      for (int F : S) {
+        if (!First)
+          OS << ", ";
+        OS << F;
+        First = false;
+      }
+      OS << "}\n";
+    }
+}

@@ -1,0 +1,52 @@
+//===- flm/LatencySet.cpp -------------------------------------------------===//
+
+#include "flm/LatencySet.h"
+
+#include <algorithm>
+
+using namespace rmd;
+
+LatencySet::LatencySet(std::vector<int> TheValues)
+    : Values(std::move(TheValues)) {
+  std::sort(Values.begin(), Values.end());
+  Values.erase(std::unique(Values.begin(), Values.end()), Values.end());
+}
+
+void LatencySet::insert(int Latency) {
+  auto It = std::lower_bound(Values.begin(), Values.end(), Latency);
+  if (It != Values.end() && *It == Latency)
+    return;
+  Values.insert(It, Latency);
+}
+
+bool LatencySet::contains(int Latency) const {
+  return std::binary_search(Values.begin(), Values.end(), Latency);
+}
+
+void LatencySet::unionWith(const LatencySet &Other) {
+  std::vector<int> Merged;
+  Merged.reserve(Values.size() + Other.Values.size());
+  std::set_union(Values.begin(), Values.end(), Other.Values.begin(),
+                 Other.Values.end(), std::back_inserter(Merged));
+  Values = std::move(Merged);
+}
+
+size_t LatencySet::nonnegativeCount() const {
+  auto It = std::lower_bound(Values.begin(), Values.end(), 0);
+  return static_cast<size_t>(Values.end() - It);
+}
+
+LatencySet LatencySet::negated() const {
+  std::vector<int> Negated;
+  Negated.reserve(Values.size());
+  for (auto It = Values.rbegin(); It != Values.rend(); ++It)
+    Negated.push_back(-*It);
+  LatencySet Result;
+  Result.Values = std::move(Negated);
+  return Result;
+}
+
+bool LatencySet::isSubsetOf(const LatencySet &Other) const {
+  return std::includes(Other.Values.begin(), Other.Values.end(),
+                       Values.begin(), Values.end());
+}

@@ -1,0 +1,60 @@
+//===- flm/LatencySet.h - Sets of forbidden latencies ----------*- C++ -*-===//
+///
+/// \file
+/// A set of (possibly negative) forbidden latencies, stored as a sorted
+/// duplicate-free vector of ints. Latency sets are small (bounded by twice
+/// the longest reservation table), so a sorted vector beats hash sets both
+/// in memory and in iteration order determinism.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMD_FLM_LATENCYSET_H
+#define RMD_FLM_LATENCYSET_H
+
+#include <cstddef>
+#include <vector>
+
+namespace rmd {
+
+/// A sorted set of integer latencies.
+class LatencySet {
+public:
+  LatencySet() = default;
+  explicit LatencySet(std::vector<int> Values);
+
+  /// Inserts \p Latency; duplicates are ignored.
+  void insert(int Latency);
+
+  /// True if \p Latency is a member.
+  bool contains(int Latency) const;
+
+  /// Inserts every member of \p Other.
+  void unionWith(const LatencySet &Other);
+
+  bool empty() const { return Values.empty(); }
+  size_t size() const { return Values.size(); }
+  const std::vector<int> &values() const { return Values; }
+
+  /// Number of members >= 0.
+  size_t nonnegativeCount() const;
+
+  /// Returns the set { -v | v in this }.
+  LatencySet negated() const;
+
+  /// True if every member of this set is also in \p Other.
+  bool isSubsetOf(const LatencySet &Other) const;
+
+  friend bool operator==(const LatencySet &A, const LatencySet &B) {
+    return A.Values == B.Values;
+  }
+
+  auto begin() const { return Values.begin(); }
+  auto end() const { return Values.end(); }
+
+private:
+  std::vector<int> Values;
+};
+
+} // namespace rmd
+
+#endif // RMD_FLM_LATENCYSET_H

@@ -1,0 +1,69 @@
+//===- flm/MatrixDiff.h - Semantic diffs of machine descriptions -*- C++ -*-===//
+///
+/// \file
+/// Semantic comparison of two machine descriptions by their forbidden
+/// latency matrices. The paper's motivation: compilers are developed in
+/// parallel with the micro-architecture, whose resource requirements keep
+/// changing; what matters across revisions is not which rows moved but
+/// which *scheduling constraints* appeared or disappeared. diffMatrices()
+/// reports exactly that, operation-pair by operation-pair.
+///
+/// Operations are matched by name, so the two descriptions may use
+/// entirely different resources (e.g. an original vs its reduction, or two
+/// hardware revisions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMD_FLM_MATRIXDIFF_H
+#define RMD_FLM_MATRIXDIFF_H
+
+#include "flm/ForbiddenLatencyMatrix.h"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rmd {
+
+/// One changed constraint: operation \p After cannot issue \p Latency
+/// cycles after \p Before in one description but can in the other.
+struct LatencyChange {
+  std::string After;
+  std::string Before;
+  int Latency = 0;
+
+  friend bool operator==(const LatencyChange &A, const LatencyChange &B) {
+    return A.After == B.After && A.Before == B.Before &&
+           A.Latency == B.Latency;
+  }
+};
+
+/// The semantic difference between two descriptions.
+struct MatrixDiff {
+  /// Canonical constraints present in B but not in A (new restrictions).
+  std::vector<LatencyChange> Added;
+  /// Canonical constraints present in A but not in B (lifted restrictions).
+  std::vector<LatencyChange> Removed;
+  /// Operations present in only one description (diffed constraints only
+  /// cover the common operations).
+  std::vector<std::string> OnlyInA;
+  std::vector<std::string> OnlyInB;
+
+  bool identical() const {
+    return Added.empty() && Removed.empty() && OnlyInA.empty() &&
+           OnlyInB.empty();
+  }
+};
+
+/// Diffs the forbidden latency matrices of \p A and \p B (both expanded),
+/// matching operations by name.
+MatrixDiff diffMatrices(const MachineDescription &A,
+                        const MachineDescription &B);
+
+/// Renders \p Diff in a unified-diff flavour ("+" = constraint added in B,
+/// "-" = removed).
+void printMatrixDiff(std::ostream &OS, const MatrixDiff &Diff);
+
+} // namespace rmd
+
+#endif // RMD_FLM_MATRIXDIFF_H

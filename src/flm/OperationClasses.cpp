@@ -1,0 +1,57 @@
+//===- flm/OperationClasses.cpp -------------------------------------------===//
+
+#include "flm/OperationClasses.h"
+
+using namespace rmd;
+
+static bool sameClass(const ForbiddenLatencyMatrix &FLM, OpId X, OpId Y) {
+  // X and Y are interchangeable for contention purposes iff X's row and
+  // column of the forbidden latency matrix equal Y's. Taking Z over all
+  // operations (including X and Y themselves) also forces F(X,X) == F(Y,X)
+  // == F(X,Y) == F(Y,Y), which is exactly what interchangeability needs.
+  size_t NumOps = FLM.numOperations();
+  for (OpId Z = 0; Z < NumOps; ++Z) {
+    if (!(FLM.get(X, Z) == FLM.get(Y, Z)))
+      return false;
+    if (!(FLM.get(Z, X) == FLM.get(Z, Y)))
+      return false;
+  }
+  return true;
+}
+
+OperationClasses
+rmd::partitionOperationClasses(const ForbiddenLatencyMatrix &FLM) {
+  size_t NumOps = FLM.numOperations();
+  OperationClasses Result;
+  Result.ClassOf.assign(NumOps, 0);
+
+  for (OpId Op = 0; Op < NumOps; ++Op) {
+    bool Placed = false;
+    for (size_t C = 0; C < Result.Members.size() && !Placed; ++C) {
+      if (sameClass(FLM, Result.Representative[C], Op)) {
+        Result.ClassOf[Op] = static_cast<uint32_t>(C);
+        Result.Members[C].push_back(Op);
+        Placed = true;
+      }
+    }
+    if (!Placed) {
+      Result.ClassOf[Op] = static_cast<uint32_t>(Result.Members.size());
+      Result.Members.push_back({Op});
+      Result.Representative.push_back(Op);
+    }
+  }
+  return Result;
+}
+
+MachineDescription rmd::buildClassMachine(const MachineDescription &MD,
+                                          const OperationClasses &Classes) {
+  assert(MD.isExpanded() && "class machine requires an expanded machine");
+  MachineDescription Quotient(MD.name() + ".classes");
+  for (ResourceId R = 0; R < MD.numResources(); ++R)
+    Quotient.addResource(MD.resourceName(R));
+  for (size_t C = 0; C < Classes.numClasses(); ++C) {
+    const Operation &Rep = MD.operation(Classes.Representative[C]);
+    Quotient.addOperation(Rep.Name, Rep.table());
+  }
+  return Quotient;
+}

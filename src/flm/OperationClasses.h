@@ -1,0 +1,48 @@
+//===- flm/OperationClasses.h - Proebsting-Fraser op classes ---*- C++ -*-===//
+///
+/// \file
+/// Operation classes (Proebsting & Fraser, POPL'94, as used in Section 3):
+/// operations X and Y belong to the same class iff F(X,Z) == F(Y,Z) and
+/// F(Z,X) == F(Z,Y) for every operation Z. Classes let the reduction and
+/// the query module work on a quotient machine: one representative per
+/// class, with member counts retained for frequency-weighted metrics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMD_FLM_OPERATIONCLASSES_H
+#define RMD_FLM_OPERATIONCLASSES_H
+
+#include "flm/ForbiddenLatencyMatrix.h"
+#include "mdesc/MachineDescription.h"
+
+#include <vector>
+
+namespace rmd {
+
+/// The partition of an expanded machine's operations into contention
+/// equivalence classes.
+struct OperationClasses {
+  /// ClassOf[op] is the class index of operation op.
+  std::vector<uint32_t> ClassOf;
+
+  /// Members[c] lists the operations of class c (ascending).
+  std::vector<std::vector<OpId>> Members;
+
+  /// Representative[c] is the least member of class c.
+  std::vector<OpId> Representative;
+
+  size_t numClasses() const { return Members.size(); }
+};
+
+/// Partitions the operations of \p FLM into contention classes.
+OperationClasses partitionOperationClasses(const ForbiddenLatencyMatrix &FLM);
+
+/// Builds the quotient machine of \p MD under \p Classes: one operation per
+/// class (the representative's name and reservation table), same resources.
+/// The quotient machine's OpId c corresponds to class c.
+MachineDescription buildClassMachine(const MachineDescription &MD,
+                                     const OperationClasses &Classes);
+
+} // namespace rmd
+
+#endif // RMD_FLM_OPERATIONCLASSES_H

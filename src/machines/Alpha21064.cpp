@@ -1,0 +1,189 @@
+//===- machines/Alpha21064.cpp - Reconstructed DEC Alpha 21064 ------------===//
+//
+// A reconstruction of the DEC Alpha 21064 machine description used by Bala
+// & Rubin (MICRO-28 '95) and by the paper (Table 3: 12 operation classes,
+// 293 forbidden latencies, all < 58). The 21064 is a dual-issue machine:
+// one instruction to the integer/memory/branch side (EBox/ABox/BBox) and
+// one to the floating-point side (FBox) per cycle.
+//
+// The long forbidden latencies come from the two non-pipelined units:
+//   - the integer multiplier (IMUL busy 19/23 cycles for 32/64-bit);
+//   - the FP divider (busy ~30 cycles single, ~58 cycles double -- the
+//     paper's "largest forbidden latency is 58 cycles").
+//
+// As with the other reconstructions, the description carries the
+// *redundant* hardware rows a straight transcription would (per-side
+// decode latches, secondary execute stages, cache tag port, FP writeback,
+// divider control), which the reduction strips.
+//
+//===----------------------------------------------------------------------===//
+
+#include "machines/MachineModel.h"
+
+using namespace rmd;
+
+MachineModel rmd::makeAlpha21064() {
+  MachineModel M;
+  M.MD.setName("alpha21064");
+  auto Res = [&](const char *Name) { return M.MD.addResource(Name); };
+  auto Op = [&](const char *Name, int Latency, OpRole Role,
+                ReservationTable T) {
+    M.MD.addOperation(Name, std::move(T));
+    M.Latency.push_back(Latency);
+    M.Role.push_back(Role);
+  };
+
+  // Issue slots and decode latches: one integer-side and one float-side
+  // instruction per cycle.
+  ResourceId IssueI = Res("IssueI");
+  ResourceId DecodeI = Res("DecodeI");
+  ResourceId IssueF = Res("IssueF");
+  ResourceId DecodeF = Res("DecodeF");
+
+  // EBox (integer execute) with its second stage, the shifter, and the
+  // non-pipelined integer multiplier.
+  ResourceId EAlu = Res("EAlu");
+  ResourceId EAlu2 = Res("EAlu2");
+  ResourceId EShift = Res("EShift");
+  ResourceId IMul = Res("IMul");
+
+  // ABox (load/store): address adder, data cache data and tag ports,
+  // write buffer.
+  ResourceId AAdd = Res("AAdd");
+  ResourceId DCache = Res("DCache");
+  ResourceId DTag = Res("DTag");
+  ResourceId WBuf = Res("WBuf");
+
+  // BBox (branch).
+  ResourceId BCond = Res("BCond");
+
+  // FBox: one shared add/multiply pipeline plus the non-pipelined divider
+  // with its control row, and the FP register writeback port.
+  ResourceId F1 = Res("F1");
+  ResourceId F2 = Res("F2");
+  ResourceId F3 = Res("F3");
+  ResourceId FRound = Res("FRound");
+  ResourceId FWrite = Res("FWrite");
+  ResourceId FDiv = Res("FDiv");
+  ResourceId FDivCtl = Res("FDivCtl");
+
+  /// Integer-side issue stages.
+  auto BaseI = [&]() {
+    ReservationTable T;
+    T.addUsage(IssueI, 0);
+    T.addUsage(DecodeI, 0);
+    return T;
+  };
+  /// Float-side issue stages.
+  auto BaseF = [&]() {
+    ReservationTable T;
+    T.addUsage(IssueF, 0);
+    T.addUsage(DecodeF, 0);
+    return T;
+  };
+
+  {
+    ReservationTable T = BaseI();
+    T.addUsage(EAlu, 1);
+    T.addUsage(EAlu2, 2);
+    Op("ialu", 1, OpRole::IntAlu, std::move(T));
+  }
+  {
+    ReservationTable T = BaseI();
+    T.addUsage(EShift, 1);
+    Op("shift", 2, OpRole::IntAlu, std::move(T));
+  }
+  {
+    // 32-bit integer multiply: issues down EBox, then busies the
+    // multiplier 19 cycles.
+    ReservationTable T = BaseI();
+    T.addUsage(EAlu, 1);
+    T.addUsage(EAlu2, 2);
+    T.addUsageRange(IMul, 1, 19);
+    Op("imull", 21, OpRole::IntAlu, std::move(T));
+  }
+  {
+    // 64-bit integer multiply: busies the multiplier 23 cycles.
+    ReservationTable T = BaseI();
+    T.addUsage(EAlu, 1);
+    T.addUsage(EAlu2, 2);
+    T.addUsageRange(IMul, 1, 23);
+    Op("imulq", 23, OpRole::IntAlu, std::move(T));
+  }
+  {
+    ReservationTable T = BaseI();
+    T.addUsage(AAdd, 1);
+    T.addUsage(DCache, 2);
+    T.addUsage(DTag, 2);
+    Op("load", 3, OpRole::Load, std::move(T));
+  }
+  {
+    ReservationTable T = BaseI();
+    T.addUsage(AAdd, 1);
+    T.addUsage(DCache, 2);
+    T.addUsage(DTag, 2);
+    T.addUsage(WBuf, 3);
+    Op("store", 1, OpRole::Store, std::move(T));
+  }
+  {
+    ReservationTable T = BaseI();
+    T.addUsage(BCond, 1);
+    Op("br", 1, OpRole::Branch, std::move(T));
+  }
+  {
+    // FP conditional branch: integer-side issue, tests FBox condition.
+    ReservationTable T = BaseI();
+    T.addUsage(BCond, 1);
+    T.addUsage(F1, 1);
+    Op("fbr", 1, OpRole::Branch, std::move(T));
+  }
+  {
+    ReservationTable T = BaseF();
+    T.addUsage(F1, 1);
+    T.addUsage(F2, 2);
+    T.addUsage(F3, 3);
+    T.addUsage(FRound, 4);
+    T.addUsage(FWrite, 5);
+    Op("fadd", 6, OpRole::FloatAdd, std::move(T));
+  }
+  {
+    // Multiply holds the second pipeline stage two cycles (partially
+    // pipelined at the F2 stage).
+    ReservationTable T = BaseF();
+    T.addUsage(F1, 1);
+    T.addUsageRange(F2, 2, 3);
+    T.addUsage(F3, 4);
+    T.addUsage(FRound, 5);
+    T.addUsage(FWrite, 6);
+    Op("fmul", 6, OpRole::FloatMul, std::move(T));
+  }
+  {
+    ReservationTable T = BaseF();
+    T.addUsage(F1, 1);
+    T.addUsageRange(FDiv, 2, 31);
+    T.addUsageRange(FDivCtl, 2, 31);
+    T.addUsage(FRound, 32);
+    T.addUsage(FWrite, 33);
+    Op("fdivs", 34, OpRole::FloatDiv, std::move(T));
+  }
+  {
+    // Double-precision divide: busies the divider through cycle 58, the
+    // source of the machine's largest forbidden latencies.
+    ReservationTable T = BaseF();
+    T.addUsage(F1, 1);
+    T.addUsageRange(FDiv, 2, 58);
+    T.addUsageRange(FDivCtl, 2, 58);
+    T.addUsage(FRound, 59);
+    T.addUsage(FWrite, 60);
+    Op("fdivd", 61, OpRole::FloatDiv, std::move(T));
+  }
+  {
+    ReservationTable T = BaseF();
+    T.addUsage(F1, 1);
+    T.addUsage(FRound, 2);
+    T.addUsage(FWrite, 3);
+    Op("cvt", 3, OpRole::Convert, std::move(T));
+  }
+
+  return M;
+}

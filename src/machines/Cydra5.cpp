@@ -1,0 +1,282 @@
+//===- machines/Cydra5.cpp - Reconstructed Cydra 5 description ------------===//
+//
+// A reconstruction of the Cydra 5 numeric processor machine description
+// (Beck, Yen & Anderson, "The Cydra 5 minisupercomputer", 1993; Dehnert &
+// Towle, "Compiling for the Cydra 5", 1993). The configuration matches the
+// paper's: 7 functional units -- 2 memory ports, 2 address/integer units,
+// 1 FP adder, 1 FP multiplier, 1 branch unit.
+//
+// The original compiler description (56 resources, 152 usage patterns, 52
+// operation classes) is unpublished; this model reproduces its structural
+// idioms instead:
+//   - descriptions written close to the hardware, with *redundant*
+//     resources (input latches, transfer stages, iteration control) whose
+//     conflicts are implied by other rows -- exactly what the automated
+//     reduction is meant to strip;
+//   - deep, fully pipelined paths (memory, FP adder);
+//   - partially pipelined stages (double-precision ops hold a stage for 2
+//     consecutive cycles);
+//   - long non-pipelined iterative stages (divide and square root execute
+//     on the multiplier's iteration stage);
+//   - shared buses creating cross-unit conflicts (2 FP result buses, a
+//     predicate-file write port);
+//   - alternative resource usages (either memory port, either address
+//     unit, either result bus).
+//
+// The pseudo-randomly banked main memory sustains one access per port per
+// cycle, so the bank stage is held for a single cycle per access.
+//
+// Latencies are representative of the machine's published ranges and are
+// what the modulo scheduler uses for dependence delays.
+//
+//===----------------------------------------------------------------------===//
+
+#include "machines/MachineModel.h"
+
+using namespace rmd;
+
+namespace {
+
+/// Builder utilities shared by the machine model constructors.
+struct ModelBuilder {
+  MachineModel Model;
+
+  ResourceId res(const std::string &Name) {
+    return Model.MD.addResource(Name);
+  }
+
+  void op(const std::string &Name, int Latency, OpRole Role,
+          std::vector<ReservationTable> Alternatives) {
+    Model.MD.addOperation(Name, std::move(Alternatives));
+    Model.Latency.push_back(Latency);
+    Model.Role.push_back(Role);
+  }
+};
+
+} // namespace
+
+MachineModel rmd::makeCydra5() {
+  ModelBuilder B;
+  B.Model.MD.setName("cydra5");
+
+  // Functional unit issue slots: one operation per unit per MultiOp. Each
+  // unit also latches its instruction (a redundant hardware resource).
+  ResourceId SlotMem[2] = {B.res("SlotMem0"), B.res("SlotMem1")};
+  ResourceId SlotAdr[2] = {B.res("SlotAdr0"), B.res("SlotAdr1")};
+  ResourceId SlotFAdd = B.res("SlotFAdd");
+  ResourceId SlotFMul = B.res("SlotFMul");
+  ResourceId SlotBr = B.res("SlotBr");
+  ResourceId MemIn[2] = {B.res("MemIn0"), B.res("MemIn1")};
+  ResourceId AdrIn[2] = {B.res("AdrIn0"), B.res("AdrIn1")};
+  ResourceId FAddIn = B.res("FAddIn");
+  ResourceId FMulIn = B.res("FMulIn");
+  ResourceId BrIn = B.res("BrIn");
+
+  // Memory port pipelines: address latch, banked memory (1 cycle per
+  // access), transfer stage, data return, store data path.
+  ResourceId MemAddr[2] = {B.res("MemAddr0"), B.res("MemAddr1")};
+  ResourceId MemBank[2] = {B.res("MemBank0"), B.res("MemBank1")};
+  ResourceId MemXfer[2] = {B.res("MemXfer0"), B.res("MemXfer1")};
+  ResourceId MemData[2] = {B.res("MemData0"), B.res("MemData1")};
+  ResourceId StData[2] = {B.res("StData0"), B.res("StData1")};
+
+  // Address/integer ALUs with their register write ports.
+  ResourceId AdrAlu[2] = {B.res("AdrAlu0"), B.res("AdrAlu1")};
+  ResourceId AdrWB[2] = {B.res("AdrWB0"), B.res("AdrWB1")};
+
+  // FP adder pipeline: align, two add stages, round (also used by
+  // conversions), output latch.
+  ResourceId FAddAlign = B.res("FAddAlign");
+  ResourceId FAdd1 = B.res("FAdd1");
+  ResourceId FAdd2 = B.res("FAdd2");
+  ResourceId FAddRound = B.res("FAddRound");
+  ResourceId FAddOut = B.res("FAddOut");
+
+  // FP multiplier pipeline: Booth recode, two product stages, iteration
+  // stage + iteration control (divide/sqrt loop here, non-pipelined),
+  // round, output latch.
+  ResourceId FMulBooth = B.res("FMulBooth");
+  ResourceId FMul1 = B.res("FMul1");
+  ResourceId FMul2 = B.res("FMul2");
+  ResourceId FMulIter = B.res("FMulIter");
+  ResourceId FMulIterCtl = B.res("FMulIterCtl");
+  ResourceId FMulRound = B.res("FMulRound");
+  ResourceId FMulOut = B.res("FMulOut");
+
+  // Two result buses shared by the FP units; one predicate-file write
+  // port shared by the compare operations of the FP adder and the address
+  // units.
+  ResourceId ResultBus[2] = {B.res("ResultBus0"), B.res("ResultBus1")};
+  ResourceId PredWrite = B.res("PredWrite");
+
+  // Branch unit: condition evaluation, instruction fetch stream, loop
+  // control update (brtop).
+  ResourceId BrCond = B.res("BrCond");
+  ResourceId IFetch = B.res("IFetch");
+  ResourceId LoopCtl = B.res("LoopCtl");
+
+  // --- Memory operations: either port. -----------------------------------
+  auto LoadAlt = [&](int Port) {
+    ReservationTable T;
+    T.addUsage(SlotMem[Port], 0);
+    T.addUsage(MemIn[Port], 0);
+    T.addUsage(MemAddr[Port], 1);
+    T.addUsage(MemBank[Port], 2);
+    T.addUsage(MemXfer[Port], 3);
+    T.addUsage(MemData[Port], 4);
+    return T;
+  };
+  B.op("load", 5, OpRole::Load, {LoadAlt(0), LoadAlt(1)});
+
+  auto StoreAlt = [&](int Port) {
+    ReservationTable T;
+    T.addUsage(SlotMem[Port], 0);
+    T.addUsage(MemIn[Port], 0);
+    T.addUsage(MemAddr[Port], 1);
+    T.addUsage(StData[Port], 1);
+    T.addUsage(MemBank[Port], 2);
+    return T;
+  };
+  B.op("store", 1, OpRole::Store, {StoreAlt(0), StoreAlt(1)});
+
+  // --- Address/integer operations: either address unit. ------------------
+  auto AdrAlt = [&](int Unit, bool Predicate) {
+    ReservationTable T;
+    T.addUsage(SlotAdr[Unit], 0);
+    T.addUsage(AdrIn[Unit], 0);
+    T.addUsage(AdrAlu[Unit], 1);
+    if (Predicate)
+      T.addUsage(PredWrite, 2);
+    else
+      T.addUsage(AdrWB[Unit], 2);
+    return T;
+  };
+  B.op("addr.add", 1, OpRole::AddrCalc,
+       {AdrAlt(0, false), AdrAlt(1, false)});
+  B.op("iadd", 1, OpRole::IntAlu, {AdrAlt(0, false), AdrAlt(1, false)});
+  B.op("icmp", 1, OpRole::Compare, {AdrAlt(0, true), AdrAlt(1, true)});
+  B.op("move", 1, OpRole::Move, {AdrAlt(0, false), AdrAlt(1, false)});
+
+  // --- FP adder operations: either result bus. ---------------------------
+  auto FAddAlt = [&](int Bus, bool Double) {
+    ReservationTable T;
+    T.addUsage(SlotFAdd, 0);
+    T.addUsage(FAddIn, 0);
+    T.addUsage(FAddAlign, 1);
+    T.addUsage(FAdd1, 2);
+    int Out;
+    if (Double) {
+      // Double precision holds the second add stage 2 consecutive cycles.
+      T.addUsageRange(FAdd2, 3, 4);
+      T.addUsage(FAddRound, 5);
+      Out = 6;
+    } else {
+      T.addUsage(FAdd2, 3);
+      T.addUsage(FAddRound, 4);
+      Out = 5;
+    }
+    T.addUsage(FAddOut, Out);
+    T.addUsage(ResultBus[Bus], Out);
+    return T;
+  };
+  B.op("fadd.s", 6, OpRole::FloatAdd, {FAddAlt(0, false), FAddAlt(1, false)});
+  B.op("fadd.d", 7, OpRole::FloatAdd, {FAddAlt(0, true), FAddAlt(1, true)});
+
+  auto CvtAlt = [&](int Bus) {
+    ReservationTable T;
+    T.addUsage(SlotFAdd, 0);
+    T.addUsage(FAddIn, 0);
+    T.addUsage(FAddAlign, 1);
+    T.addUsage(FAddRound, 2);
+    T.addUsage(FAddOut, 3);
+    T.addUsage(ResultBus[Bus], 3);
+    return T;
+  };
+  B.op("cvt", 4, OpRole::Convert, {CvtAlt(0), CvtAlt(1)});
+
+  {
+    // FP compare: writes the shared predicate file, not a result bus.
+    ReservationTable T;
+    T.addUsage(SlotFAdd, 0);
+    T.addUsage(FAddIn, 0);
+    T.addUsage(FAddAlign, 1);
+    T.addUsage(FAdd1, 2);
+    T.addUsage(PredWrite, 3);
+    B.op("fcmp", 3, OpRole::Compare, {T});
+  }
+
+  // --- FP multiplier operations: either result bus. ----------------------
+  auto FMulAlt = [&](int Bus, bool Double) {
+    ReservationTable T;
+    T.addUsage(SlotFMul, 0);
+    T.addUsage(FMulIn, 0);
+    T.addUsage(FMulBooth, 1);
+    T.addUsage(FMul1, 2);
+    int Out;
+    if (Double) {
+      T.addUsageRange(FMul2, 3, 4);
+      T.addUsage(FMulRound, 5);
+      Out = 6;
+    } else {
+      T.addUsage(FMul2, 3);
+      T.addUsage(FMulRound, 4);
+      Out = 5;
+    }
+    T.addUsage(FMulOut, Out);
+    T.addUsage(ResultBus[Bus], Out);
+    return T;
+  };
+  B.op("fmul.s", 6, OpRole::FloatMul, {FMulAlt(0, false), FMulAlt(1, false)});
+  B.op("fmul.d", 7, OpRole::FloatMul, {FMulAlt(0, true), FMulAlt(1, true)});
+
+  // Integer multiply executes on the FP multiplier front stages.
+  {
+    ReservationTable T;
+    T.addUsage(SlotFMul, 0);
+    T.addUsage(FMulIn, 0);
+    T.addUsage(FMulBooth, 1);
+    T.addUsage(FMul1, 2);
+    T.addUsage(FMul2, 3);
+    B.op("imul", 4, OpRole::IntAlu, {T});
+  }
+
+  // Divide and square root iterate on the multiplier (non-pipelined); the
+  // iteration control row shadows the datapath row cycle for cycle.
+  auto IterAlt = [&](int Bus, int IterLast) {
+    ReservationTable T;
+    T.addUsage(SlotFMul, 0);
+    T.addUsage(FMulIn, 0);
+    T.addUsage(FMulBooth, 1);
+    T.addUsageRange(FMulIter, 2, IterLast);
+    T.addUsageRange(FMulIterCtl, 2, IterLast);
+    T.addUsage(FMulRound, IterLast + 1);
+    T.addUsage(FMulOut, IterLast + 2);
+    T.addUsage(ResultBus[Bus], IterLast + 2);
+    return T;
+  };
+  B.op("fdiv.s", 12, OpRole::FloatDiv, {IterAlt(0, 9), IterAlt(1, 9)});
+  B.op("fdiv.d", 20, OpRole::FloatDiv, {IterAlt(0, 17), IterAlt(1, 17)});
+  B.op("fsqrt.d", 24, OpRole::FloatDiv, {IterAlt(0, 21), IterAlt(1, 21)});
+
+  // --- Branch unit. -------------------------------------------------------
+  {
+    ReservationTable T;
+    T.addUsage(SlotBr, 0);
+    T.addUsage(BrIn, 0);
+    T.addUsage(BrCond, 1);
+    T.addUsage(IFetch, 2);
+    B.op("branch", 1, OpRole::Branch, {T});
+  }
+  {
+    // brtop: the software-pipelining loop-control branch.
+    ReservationTable T;
+    T.addUsage(SlotBr, 0);
+    T.addUsage(BrIn, 0);
+    T.addUsage(BrCond, 1);
+    T.addUsage(LoopCtl, 1);
+    T.addUsage(IFetch, 2);
+    B.op("brtop", 1, OpRole::Branch, {T});
+  }
+
+  return B.Model;
+}

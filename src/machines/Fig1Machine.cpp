@@ -1,0 +1,42 @@
+//===- machines/Fig1Machine.cpp - The paper's example machine -------------===//
+//
+// Figure 1a of the paper: a hypothetical machine with 2 operations and 5
+// resources. Operation A is a fully pipelined functional unit; operation B
+// is partially pipelined (resource 3 is a multiply stage held 4 consecutive
+// cycles; resource 4 a rounding stage held 2 cycles).
+//
+// Usage sets (Figure 1a):
+//   A: A0={0}, A1={1}, A2={2}
+//   B: B1={0}, B2={1}, B3={2,3,4,5}, B4={6,7}
+//
+// Expected forbidden latencies (Figure 1b):
+//   F(A,A)={0}, F(A,B)={-1}, F(B,A)={1}, F(B,B)={-3..3}
+//
+//===----------------------------------------------------------------------===//
+
+#include "machines/MachineModel.h"
+
+using namespace rmd;
+
+MachineDescription rmd::makeFig1Machine() {
+  MachineDescription MD("fig1");
+  ResourceId R0 = MD.addResource("r0");
+  ResourceId R1 = MD.addResource("r1");
+  ResourceId R2 = MD.addResource("r2");
+  ResourceId R3 = MD.addResource("r3");
+  ResourceId R4 = MD.addResource("r4");
+
+  ReservationTable A;
+  A.addUsage(R0, 0);
+  A.addUsage(R1, 1);
+  A.addUsage(R2, 2);
+  MD.addOperation("A", std::move(A));
+
+  ReservationTable B;
+  B.addUsage(R1, 0);
+  B.addUsage(R2, 1);
+  B.addUsageRange(R3, 2, 5);
+  B.addUsageRange(R4, 6, 7);
+  MD.addOperation("B", std::move(B));
+  return MD;
+}

@@ -1,0 +1,135 @@
+//===- machines/M88100.cpp - Reconstructed Motorola 88100 -----------------===//
+//
+// A reconstruction of the Motorola 88100, the machine Mueller's automaton
+// paper ("Employing finite automata for resource scheduling", MICRO-26)
+// targets -- included to cover the third related-work system the paper
+// discusses. Single-issue RISC with three concurrent function units:
+//   - the integer unit (single cycle);
+//   - the data unit (pipelined 3-stage loads/stores);
+//   - the floating-point unit: shared decode stage, pipelined add
+//     pipeline, partially pipelined multiplier (double precision makes a
+//     second pass), and a non-pipelined iterative divider.
+//
+// As with the other reconstructions, the description is written close to
+// the hardware with redundant rows (decode latches, writeback arbitration)
+// for the reducer to strip.
+//
+//===----------------------------------------------------------------------===//
+
+#include "machines/MachineModel.h"
+
+using namespace rmd;
+
+MachineModel rmd::makeM88100() {
+  MachineModel M;
+  M.MD.setName("m88100");
+  auto Res = [&](const char *Name) { return M.MD.addResource(Name); };
+  auto Op = [&](const char *Name, int Latency, OpRole Role,
+                ReservationTable T) {
+    M.MD.addOperation(Name, std::move(T));
+    M.Latency.push_back(Latency);
+    M.Role.push_back(Role);
+  };
+
+  // Single issue + instruction bus (redundant pair).
+  ResourceId Issue = Res("Issue");
+  ResourceId IBus = Res("IBus");
+
+  // Data unit pipeline and the shared register writeback arbitration.
+  ResourceId DAddr = Res("DAddr");
+  ResourceId DMem = Res("DMem");
+  ResourceId DLoad = Res("DLoad");
+  ResourceId WbArb = Res("WbArb");
+
+  // FP unit: shared decode, add pipeline, 2-stage multiplier, iterative
+  // divider with its control row.
+  ResourceId FpDecode = Res("FpDecode");
+  ResourceId FpAdd1 = Res("FpAdd1");
+  ResourceId FpAdd2 = Res("FpAdd2");
+  ResourceId FpMul1 = Res("FpMul1");
+  ResourceId FpMul2 = Res("FpMul2");
+  ResourceId FpDiv = Res("FpDiv");
+  ResourceId FpDivCtl = Res("FpDivCtl");
+  ResourceId FpWb = Res("FpWb");
+
+  auto Base = [&]() {
+    ReservationTable T;
+    T.addUsage(Issue, 0);
+    T.addUsage(IBus, 0);
+    return T;
+  };
+
+  {
+    ReservationTable T = Base();
+    T.addUsage(WbArb, 1);
+    Op("int", 1, OpRole::IntAlu, std::move(T));
+  }
+  {
+    ReservationTable T = Base();
+    T.addUsage(DAddr, 1);
+    T.addUsage(DMem, 2);
+    T.addUsage(DLoad, 3);
+    T.addUsage(WbArb, 3);
+    Op("ld", 3, OpRole::Load, std::move(T));
+  }
+  {
+    ReservationTable T = Base();
+    T.addUsage(DAddr, 1);
+    T.addUsage(DMem, 2);
+    Op("st", 1, OpRole::Store, std::move(T));
+  }
+  Op("br", 1, OpRole::Branch, Base());
+
+  auto FpBase = [&]() {
+    ReservationTable T = Base();
+    T.addUsage(FpDecode, 1);
+    return T;
+  };
+  {
+    ReservationTable T = FpBase();
+    T.addUsage(FpAdd1, 2);
+    T.addUsage(FpAdd2, 3);
+    T.addUsage(FpWb, 4);
+    T.addUsage(WbArb, 4);
+    Op("fadd", 4, OpRole::FloatAdd, std::move(T));
+  }
+  {
+    ReservationTable T = FpBase();
+    T.addUsage(FpMul1, 2);
+    T.addUsage(FpMul2, 3);
+    T.addUsage(FpWb, 4);
+    T.addUsage(WbArb, 4);
+    Op("fmul.s", 4, OpRole::FloatMul, std::move(T));
+  }
+  {
+    // Double precision makes a second pass through the multiplier array.
+    ReservationTable T = FpBase();
+    T.addUsageRange(FpMul1, 2, 3);
+    T.addUsageRange(FpMul2, 3, 4);
+    T.addUsage(FpWb, 5);
+    T.addUsage(WbArb, 5);
+    Op("fmul.d", 5, OpRole::FloatMul, std::move(T));
+  }
+  {
+    ReservationTable T = FpBase();
+    T.addUsageRange(FpDiv, 2, 27);
+    T.addUsageRange(FpDivCtl, 2, 27);
+    T.addUsage(FpWb, 28);
+    T.addUsage(WbArb, 28);
+    Op("fdiv", 30, OpRole::FloatDiv, std::move(T));
+  }
+  {
+    ReservationTable T = FpBase();
+    T.addUsage(FpAdd1, 2);
+    T.addUsage(FpWb, 3);
+    T.addUsage(WbArb, 3);
+    Op("cvt", 3, OpRole::Convert, std::move(T));
+  }
+  {
+    ReservationTable T = FpBase();
+    T.addUsage(FpAdd1, 2);
+    Op("fcmp", 2, OpRole::Compare, std::move(T));
+  }
+
+  return M;
+}

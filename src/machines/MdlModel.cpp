@@ -1,0 +1,114 @@
+//===- machines/MdlModel.cpp ----------------------------------------------===//
+
+#include "machines/MdlModel.h"
+
+#include "mdl/Parser.h"
+#include "mdl/Writer.h"
+
+#include <cstring>
+
+using namespace rmd;
+
+namespace {
+
+struct RoleSpelling {
+  OpRole Role;
+  const char *Name;
+};
+
+constexpr RoleSpelling Spellings[] = {
+    {OpRole::IntAlu, "int-alu"},     {OpRole::AddrCalc, "addr-calc"},
+    {OpRole::Load, "load"},          {OpRole::Store, "store"},
+    {OpRole::FloatAdd, "float-add"}, {OpRole::FloatMul, "float-mul"},
+    {OpRole::FloatDiv, "float-div"}, {OpRole::Convert, "convert"},
+    {OpRole::Compare, "compare"},    {OpRole::Move, "move"},
+    {OpRole::Branch, "branch"},
+};
+
+} // namespace
+
+const char *rmd::roleName(OpRole Role) {
+  for (const RoleSpelling &S : Spellings)
+    if (S.Role == Role)
+      return S.Name;
+  return "int-alu";
+}
+
+std::optional<OpRole> rmd::roleFromName(std::string_view Name) {
+  for (const RoleSpelling &S : Spellings)
+    if (Name == S.Name)
+      return S.Role;
+  return std::nullopt;
+}
+
+std::optional<MachineModel> rmd::parseMdlModel(std::string_view Input,
+                                               DiagnosticEngine &Diags) {
+  MdlAnnotations Annotations;
+  std::optional<MachineDescription> MD =
+      parseMdl(Input, Diags, &Annotations);
+  if (!MD)
+    return std::nullopt;
+
+  MachineModel Model;
+  Model.MD = std::move(*MD);
+  for (OpId Op = 0; Op < Model.MD.numOperations(); ++Op) {
+    const Operation &O = Model.MD.operation(Op);
+    int Latency = Annotations.Latency[Op];
+    if (Latency < 0) {
+      Latency = std::max(1, O.Alternatives.front().length());
+      Diags.warning({}, "operation '" + O.Name +
+                            "' has no latency annotation; defaulting to " +
+                            std::to_string(Latency));
+    }
+    OpRole Role = OpRole::IntAlu;
+    if (Annotations.Role[Op].empty()) {
+      Diags.warning({}, "operation '" + O.Name +
+                            "' has no role annotation; defaulting to "
+                            "int-alu");
+    } else if (std::optional<OpRole> Parsed =
+                   roleFromName(Annotations.Role[Op])) {
+      Role = *Parsed;
+    } else {
+      Diags.error({}, "operation '" + O.Name + "' has unknown role '" +
+                          Annotations.Role[Op] + "'");
+      return std::nullopt;
+    }
+    Model.Latency.push_back(Latency);
+    Model.Role.push_back(Role);
+  }
+  return Model;
+}
+
+std::string rmd::writeMdlModel(const MachineModel &Model) {
+  // Render the plain description, then splice the annotations into each
+  // operation header line (keeps one writer implementation).
+  std::string Plain = writeMdl(Model.MD);
+  std::string Out;
+  Out.reserve(Plain.size() + Model.MD.numOperations() * 24);
+
+  size_t NextOp = 0;
+  size_t Pos = 0;
+  while (Pos < Plain.size()) {
+    size_t LineEnd = Plain.find('\n', Pos);
+    if (LineEnd == std::string::npos)
+      LineEnd = Plain.size();
+    std::string_view Line(&Plain[Pos], LineEnd - Pos);
+
+    constexpr std::string_view Prefix = "  operation ";
+    if (Line.rfind(Prefix, 0) == 0 && NextOp < Model.MD.numOperations()) {
+      // "  operation <name> {" -> "  operation <name> latency L role R {"
+      size_t BracePos = Line.rfind(" {");
+      Out.append(Line.substr(0, BracePos));
+      Out += " latency " + std::to_string(Model.Latency[NextOp]);
+      Out += " role ";
+      Out += roleName(Model.Role[NextOp]);
+      Out.append(Line.substr(BracePos));
+      ++NextOp;
+    } else {
+      Out.append(Line);
+    }
+    Out += '\n';
+    Pos = LineEnd + 1;
+  }
+  return Out;
+}

@@ -1,0 +1,186 @@
+//===- machines/MipsR3000.cpp - Reconstructed MIPS R3000/R3010 ------------===//
+//
+// A reconstruction of the MIPS R3000 + R3010 FPA description used by
+// Proebsting & Fraser (POPL'94) and by the paper (Table 4: 15 operation
+// classes, 428 forbidden latencies, all < 34). The R3000 is single-issue;
+// structural hazards come from two partially/non-pipelined partners:
+//   - the integer multiply/divide unit (multiply busy 12 cycles, divide
+//     busy 34 -- the machine's largest forbidden latency);
+//   - the R3010 floating-point accelerator, whose add/multiply/divide
+//     paths share unpack and pack stages.
+//
+// Following the paper's workflow, the description is written close to the
+// hardware, including the *redundant* rows a real description carries: the
+// five R3000 pipeline stages every instruction marches through, the
+// instruction bus, the FPA input latch and result FIFO. Their conflicts
+// are implied by the issue stage; the reducer strips them automatically.
+//
+//===----------------------------------------------------------------------===//
+
+#include "machines/MachineModel.h"
+
+using namespace rmd;
+
+MachineModel rmd::makeMipsR3000() {
+  MachineModel M;
+  M.MD.setName("mips-r3000-r3010");
+  auto Res = [&](const char *Name) { return M.MD.addResource(Name); };
+
+  // Single issue: every operation holds the issue (RD) stage at cycle 0
+  // and marches through the 5-stage pipeline; the pipeline-stage rows are
+  // redundant with the issue row, as in a straight hardware transcription.
+  ResourceId Issue = Res("Issue");
+  ResourceId IBus = Res("IBus");
+  ResourceId StageIF = Res("StageIF");
+  ResourceId StageEX = Res("StageEX");
+  ResourceId StageMEM = Res("StageMEM");
+  ResourceId StageWB = Res("StageWB");
+
+  // Integer pipeline data-memory stage and the multiply/divide unit.
+  ResourceId Mem = Res("Mem");
+  ResourceId DBus = Res("DBus");
+  ResourceId MDU = Res("MDU");
+  ResourceId MDUIn = Res("MDUIn");
+
+  // R3010 FPA: shared unpack/pack stages around dedicated add, multiply
+  // (2-stage, partially pipelined) and divide (non-pipelined) paths, with
+  // an input latch and a result FIFO slot.
+  ResourceId FpIn = Res("FpIn");
+  ResourceId FpUnpack = Res("FpUnpack");
+  ResourceId FpAdd = Res("FpAdd");
+  ResourceId FpMul1 = Res("FpMul1");
+  ResourceId FpMul2 = Res("FpMul2");
+  ResourceId FpDiv = Res("FpDiv");
+  ResourceId FpPack = Res("FpPack");
+  ResourceId FpResult = Res("FpResult");
+
+  /// Starts a table with the stages every instruction occupies.
+  auto Base = [&]() {
+    ReservationTable T;
+    T.addUsage(Issue, 0);
+    T.addUsage(IBus, 0);
+    T.addUsage(StageIF, 0);
+    T.addUsage(StageEX, 1);
+    T.addUsage(StageMEM, 2);
+    T.addUsage(StageWB, 3);
+    return T;
+  };
+
+  auto Op = [&](const char *Name, int Latency, OpRole Role,
+                ReservationTable T) {
+    M.MD.addOperation(Name, std::move(T));
+    M.Latency.push_back(Latency);
+    M.Role.push_back(Role);
+  };
+
+  Op("ialu", 1, OpRole::IntAlu, Base());
+  Op("branch", 1, OpRole::Branch, Base());
+
+  {
+    ReservationTable T = Base();
+    T.addUsage(Mem, 1);
+    T.addUsage(DBus, 2);
+    Op("load", 2, OpRole::Load, std::move(T));
+  }
+  {
+    ReservationTable T = Base();
+    T.addUsage(Mem, 1);
+    T.addUsage(DBus, 2);
+    Op("store", 1, OpRole::Store, std::move(T));
+  }
+  {
+    // Integer multiply: MDU busy 12 cycles.
+    ReservationTable T = Base();
+    T.addUsage(MDUIn, 0);
+    T.addUsageRange(MDU, 1, 12);
+    Op("mult", 12, OpRole::IntAlu, std::move(T));
+  }
+  {
+    // Integer divide: MDU busy through cycle 34 (largest latency).
+    ReservationTable T = Base();
+    T.addUsage(MDUIn, 0);
+    T.addUsageRange(MDU, 1, 34);
+    Op("div", 35, OpRole::IntAlu, std::move(T));
+  }
+  {
+    // Reading HI/LO interlocks one MDU cycle.
+    ReservationTable T = Base();
+    T.addUsage(MDUIn, 0);
+    T.addUsage(MDU, 1);
+    Op("mflo", 2, OpRole::Move, std::move(T));
+  }
+  {
+    // CPU <-> FPA register moves pass the unpack stage.
+    ReservationTable T = Base();
+    T.addUsage(FpIn, 0);
+    T.addUsage(FpUnpack, 1);
+    Op("mtc1", 2, OpRole::Move, std::move(T));
+  }
+
+  /// Starts an FPA table: base stages plus input latch and unpacker.
+  auto FpBase = [&]() {
+    ReservationTable T = Base();
+    T.addUsage(FpIn, 0);
+    T.addUsage(FpUnpack, 1);
+    return T;
+  };
+  /// Finishes an FPA table: pack at \p PackCycle, result FIFO next cycle.
+  auto FpFinish = [&](ReservationTable &T, int PackCycle) {
+    T.addUsage(FpPack, PackCycle);
+    T.addUsage(FpResult, PackCycle + 1);
+  };
+
+  {
+    ReservationTable T = FpBase();
+    T.addUsage(FpAdd, 2);
+    FpFinish(T, 3);
+    Op("add.s", 3, OpRole::FloatAdd, std::move(T));
+  }
+  {
+    ReservationTable T = FpBase();
+    T.addUsageRange(FpAdd, 2, 3);
+    FpFinish(T, 4);
+    Op("add.d", 4, OpRole::FloatAdd, std::move(T));
+  }
+  {
+    ReservationTable T = FpBase();
+    T.addUsage(FpMul1, 2);
+    T.addUsage(FpMul2, 3);
+    FpFinish(T, 4);
+    Op("mul.s", 4, OpRole::FloatMul, std::move(T));
+  }
+  {
+    // Double multiply makes a second pass through the multiplier array.
+    ReservationTable T = FpBase();
+    T.addUsageRange(FpMul1, 2, 3);
+    T.addUsageRange(FpMul2, 3, 4);
+    FpFinish(T, 5);
+    Op("mul.d", 5, OpRole::FloatMul, std::move(T));
+  }
+  {
+    ReservationTable T = FpBase();
+    T.addUsageRange(FpDiv, 2, 11);
+    FpFinish(T, 12);
+    Op("div.s", 12, OpRole::FloatDiv, std::move(T));
+  }
+  {
+    ReservationTable T = FpBase();
+    T.addUsageRange(FpDiv, 2, 18);
+    FpFinish(T, 19);
+    Op("div.d", 19, OpRole::FloatDiv, std::move(T));
+  }
+  {
+    ReservationTable T = FpBase();
+    T.addUsage(FpAdd, 2);
+    FpFinish(T, 3);
+    Op("cvt", 3, OpRole::Convert, std::move(T));
+  }
+  {
+    // FP compare: unpack then compare in the add path, no pack.
+    ReservationTable T = FpBase();
+    T.addUsage(FpAdd, 2);
+    Op("c.cond", 2, OpRole::Compare, std::move(T));
+  }
+
+  return M;
+}

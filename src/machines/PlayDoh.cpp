@@ -1,0 +1,127 @@
+//===- machines/PlayDoh.cpp - HPL PlayDoh-style EPIC machine --------------===//
+//
+// An HPL PlayDoh-flavoured EPIC research machine (Kathail, Schlansker &
+// Rau, HPL-93-80), the kind of target the IMPACT machine-description
+// module was built to serve (Section 1). Configuration: 2 integer units,
+// 2 memory units, 2 FP units, 1 branch unit, all fully pipelined except
+// the FP divide, with heavy use of alternatives (any same-kind unit) and
+// a shared pair of register-file write ports that couples the clusters.
+//
+// This model exists to stress the alternative-operation machinery: every
+// non-branch operation has 2 (units) x 2 (write ports) = 4 alternatives.
+//
+//===----------------------------------------------------------------------===//
+
+#include "machines/MachineModel.h"
+
+using namespace rmd;
+
+MachineModel rmd::makePlayDoh() {
+  MachineModel M;
+  M.MD.setName("playdoh");
+  auto Res = [&](const std::string &Name) { return M.MD.addResource(Name); };
+
+  ResourceId IUnit[2] = {Res("IUnit0"), Res("IUnit1")};
+  ResourceId MUnit[2] = {Res("MUnit0"), Res("MUnit1")};
+  ResourceId FUnit[2] = {Res("FUnit0"), Res("FUnit1")};
+  ResourceId BUnit = Res("BUnit");
+
+  // Per-unit pipelines.
+  ResourceId IAlu[2] = {Res("IAlu0"), Res("IAlu1")};
+  ResourceId MAddr[2] = {Res("MAddr0"), Res("MAddr1")};
+  ResourceId MCache[2] = {Res("MCache0"), Res("MCache1")};
+  ResourceId F1[2] = {Res("F1a"), Res("F1b")};
+  ResourceId F2[2] = {Res("F2a"), Res("F2b")};
+  ResourceId FDiv[2] = {Res("FDiva"), Res("FDivb")};
+
+  // Two shared register-file write ports couple everything.
+  ResourceId WPort[2] = {Res("WPort0"), Res("WPort1")};
+
+  auto Op = [&](const std::string &Name, int Latency, OpRole Role,
+                std::vector<ReservationTable> Alternatives) {
+    M.MD.addOperation(Name, std::move(Alternatives));
+    M.Latency.push_back(Latency);
+    M.Role.push_back(Role);
+  };
+
+  /// Integer op on unit u writing through port w at cycle 1.
+  auto IntAlt = [&](int U, int W) {
+    ReservationTable T;
+    T.addUsage(IUnit[U], 0);
+    T.addUsage(IAlu[U], 0);
+    T.addUsage(WPort[W], 1);
+    return T;
+  };
+  auto IntAlts = [&]() {
+    return std::vector<ReservationTable>{IntAlt(0, 0), IntAlt(0, 1),
+                                         IntAlt(1, 0), IntAlt(1, 1)};
+  };
+  Op("iadd", 1, OpRole::IntAlu, IntAlts());
+  Op("icmp", 1, OpRole::Compare, IntAlts());
+  Op("move", 1, OpRole::Move, IntAlts());
+  Op("addr", 1, OpRole::AddrCalc, IntAlts());
+
+  /// Memory op on unit u; loads write through port w at cycle 2.
+  auto LoadAlt = [&](int U, int W) {
+    ReservationTable T;
+    T.addUsage(MUnit[U], 0);
+    T.addUsage(MAddr[U], 0);
+    T.addUsage(MCache[U], 1);
+    T.addUsage(WPort[W], 2);
+    return T;
+  };
+  Op("load", 3, OpRole::Load,
+     {LoadAlt(0, 0), LoadAlt(0, 1), LoadAlt(1, 0), LoadAlt(1, 1)});
+
+  auto StoreAlt = [&](int U) {
+    ReservationTable T;
+    T.addUsage(MUnit[U], 0);
+    T.addUsage(MAddr[U], 0);
+    T.addUsage(MCache[U], 1);
+    return T;
+  };
+  Op("store", 1, OpRole::Store, {StoreAlt(0), StoreAlt(1)});
+
+  /// FP op on unit u writing through port w.
+  auto FAlt = [&](int U, int W, bool Mul) {
+    ReservationTable T;
+    T.addUsage(FUnit[U], 0);
+    T.addUsage(F1[U], 0);
+    if (Mul)
+      T.addUsageRange(F2[U], 1, 2); // multiply holds stage 2 twice
+    else
+      T.addUsage(F2[U], 1);
+    T.addUsage(WPort[W], Mul ? 3 : 2);
+    return T;
+  };
+  Op("fadd", 3, OpRole::FloatAdd,
+     {FAlt(0, 0, false), FAlt(0, 1, false), FAlt(1, 0, false),
+      FAlt(1, 1, false)});
+  Op("fmul", 4, OpRole::FloatMul,
+     {FAlt(0, 0, true), FAlt(0, 1, true), FAlt(1, 0, true),
+      FAlt(1, 1, true)});
+
+  auto DivAlt = [&](int U, int W) {
+    ReservationTable T;
+    T.addUsage(FUnit[U], 0);
+    T.addUsage(F1[U], 0);
+    T.addUsageRange(FDiv[U], 1, 14); // non-pipelined iterative divide
+    T.addUsage(WPort[W], 15);
+    return T;
+  };
+  Op("fdiv", 16, OpRole::FloatDiv,
+     {DivAlt(0, 0), DivAlt(0, 1), DivAlt(1, 0), DivAlt(1, 1)});
+  {
+    // Convert runs down the FP pipe like an add.
+    Op("cvt", 3, OpRole::Convert,
+       {FAlt(0, 0, false), FAlt(0, 1, false), FAlt(1, 0, false),
+        FAlt(1, 1, false)});
+  }
+  {
+    ReservationTable T;
+    T.addUsage(BUnit, 0);
+    Op("br", 1, OpRole::Branch, {T});
+  }
+
+  return M;
+}

@@ -1,0 +1,106 @@
+//===- machines/ScaledVliw.cpp - Parameterizable machine family -----------===//
+//
+// A machine family for scaling studies (Section 6's qualitative claim:
+// automata state spaces explode with machine complexity while reduced
+// reservation tables grow gently). makeScaledVliw(U, D) builds a U-cluster
+// VLIW: each cluster has an issue slot + ALU (every ALU op may run on any
+// cluster -- U-way alternatives), one memory pipeline per two clusters, a
+// shared non-pipelined divider busy D cycles, and ceil(U/2) shared result
+// buses that couple the clusters.
+//
+//===----------------------------------------------------------------------===//
+
+#include "machines/MachineModel.h"
+
+using namespace rmd;
+
+MachineModel rmd::makeScaledVliw(unsigned Units, unsigned DivBusy) {
+  assert(Units >= 1 && "need at least one cluster");
+  assert(DivBusy >= 1 && DivBusy <= 50 && "divider busy range");
+
+  MachineModel M;
+  M.MD.setName("scaled-vliw-" + std::to_string(Units) + "u" +
+               std::to_string(DivBusy) + "d");
+  auto Res = [&](const std::string &Name) { return M.MD.addResource(Name); };
+
+  std::vector<ResourceId> Slot, Alu;
+  for (unsigned U = 0; U < Units; ++U) {
+    Slot.push_back(Res("Slot" + std::to_string(U)));
+    Alu.push_back(Res("Alu" + std::to_string(U)));
+  }
+  unsigned MemPipes = (Units + 1) / 2;
+  std::vector<ResourceId> MemAddr, MemData;
+  for (unsigned P = 0; P < MemPipes; ++P) {
+    MemAddr.push_back(Res("MemAddr" + std::to_string(P)));
+    MemData.push_back(Res("MemData" + std::to_string(P)));
+  }
+  unsigned Buses = (Units + 1) / 2;
+  std::vector<ResourceId> Bus;
+  for (unsigned B = 0; B < Buses; ++B)
+    Bus.push_back(Res("Bus" + std::to_string(B)));
+  ResourceId Div = Res("Div");
+
+  auto Op = [&](const std::string &Name, int Latency, OpRole Role,
+                std::vector<ReservationTable> Alternatives) {
+    M.MD.addOperation(Name, std::move(Alternatives));
+    M.Latency.push_back(Latency);
+    M.Role.push_back(Role);
+  };
+
+  // ALU op: any cluster, writing any bus.
+  {
+    std::vector<ReservationTable> Alts;
+    for (unsigned U = 0; U < Units; ++U)
+      for (unsigned B = 0; B < Buses; ++B) {
+        ReservationTable T;
+        T.addUsage(Slot[U], 0);
+        T.addUsage(Alu[U], 0);
+        T.addUsage(Bus[B], 1);
+        Alts.push_back(std::move(T));
+      }
+    Op("alu", 1, OpRole::IntAlu, std::move(Alts));
+  }
+
+  // Load/store: issue on a cluster adjacent to the memory pipe.
+  {
+    std::vector<ReservationTable> Loads, Stores;
+    for (unsigned P = 0; P < MemPipes; ++P) {
+      unsigned U = std::min(2 * P, Units - 1);
+      ReservationTable L;
+      L.addUsage(Slot[U], 0);
+      L.addUsage(MemAddr[P], 1);
+      L.addUsage(MemData[P], 2);
+      L.addUsage(Bus[P % Buses], 3);
+      Loads.push_back(std::move(L));
+      ReservationTable S;
+      S.addUsage(Slot[U], 0);
+      S.addUsage(MemAddr[P], 1);
+      S.addUsage(MemData[P], 2);
+      Stores.push_back(std::move(S));
+    }
+    Op("load", 3, OpRole::Load, std::move(Loads));
+    Op("store", 1, OpRole::Store, std::move(Stores));
+  }
+
+  // Divide: cluster 0 issue, non-pipelined shared divider.
+  {
+    ReservationTable T;
+    T.addUsage(Slot[0], 0);
+    T.addUsageRange(Div, 1, static_cast<int>(DivBusy));
+    T.addUsage(Bus[0], static_cast<int>(DivBusy) + 1);
+    Op("div", static_cast<int>(DivBusy) + 2, OpRole::FloatDiv, {T});
+  }
+
+  // Branch: any cluster slot.
+  {
+    std::vector<ReservationTable> Alts;
+    for (unsigned U = 0; U < Units; ++U) {
+      ReservationTable T;
+      T.addUsage(Slot[U], 0);
+      Alts.push_back(std::move(T));
+    }
+    Op("br", 1, OpRole::Branch, std::move(Alts));
+  }
+
+  return M;
+}

@@ -1,0 +1,83 @@
+//===- machines/ToyVliw.cpp - Small VLIW used by tests --------------------===//
+//
+// A hand-analyzable 2-issue VLIW: two issue slots, ALUs behind each slot
+// (alternative usages), a memory pipeline on slot 0 only, a non-pipelined
+// multiplier on slot 1 only, and one writeback bus shared by everything.
+// Small enough to verify reductions by hand, rich enough to exercise
+// alternatives, shared buses and multi-cycle stages.
+//
+//===----------------------------------------------------------------------===//
+
+#include "machines/MachineModel.h"
+
+using namespace rmd;
+
+MachineModel rmd::makeToyVliw() {
+  MachineModel M;
+  M.MD.setName("toyvliw");
+  auto Res = [&](const char *Name) { return M.MD.addResource(Name); };
+
+  ResourceId Slot0 = Res("Slot0");
+  ResourceId Slot1 = Res("Slot1");
+  ResourceId Alu0 = Res("Alu0");
+  ResourceId Alu1 = Res("Alu1");
+  ResourceId Mem = Res("Mem");
+  ResourceId Mul = Res("Mul");
+  ResourceId WbBus = Res("WbBus");
+
+  {
+    // ALU op: either slot/ALU pair, shared writeback at cycle 1.
+    ReservationTable T0;
+    T0.addUsage(Slot0, 0);
+    T0.addUsage(Alu0, 0);
+    T0.addUsage(WbBus, 1);
+    ReservationTable T1;
+    T1.addUsage(Slot1, 0);
+    T1.addUsage(Alu1, 0);
+    T1.addUsage(WbBus, 1);
+    M.MD.addOperation("alu", {T0, T1});
+    M.Latency.push_back(1);
+    M.Role.push_back(OpRole::IntAlu);
+  }
+  {
+    // Load: slot 0 only, 2-cycle memory, writeback at cycle 3.
+    ReservationTable T;
+    T.addUsage(Slot0, 0);
+    T.addUsageRange(Mem, 1, 2);
+    T.addUsage(WbBus, 3);
+    M.MD.addOperation("load", T);
+    M.Latency.push_back(3);
+    M.Role.push_back(OpRole::Load);
+  }
+  {
+    // Store: slot 0 only, 2-cycle memory, no writeback.
+    ReservationTable T;
+    T.addUsage(Slot0, 0);
+    T.addUsageRange(Mem, 1, 2);
+    M.MD.addOperation("store", T);
+    M.Latency.push_back(1);
+    M.Role.push_back(OpRole::Store);
+  }
+  {
+    // Multiply: slot 1 only, non-pipelined 3-cycle multiplier.
+    ReservationTable T;
+    T.addUsage(Slot1, 0);
+    T.addUsageRange(Mul, 1, 3);
+    T.addUsage(WbBus, 4);
+    M.MD.addOperation("mul", T);
+    M.Latency.push_back(4);
+    M.Role.push_back(OpRole::FloatMul);
+  }
+  {
+    // Branch: either slot, no writeback.
+    ReservationTable T0;
+    T0.addUsage(Slot0, 0);
+    ReservationTable T1;
+    T1.addUsage(Slot1, 0);
+    M.MD.addOperation("br", {T0, T1});
+    M.Latency.push_back(1);
+    M.Role.push_back(OpRole::Branch);
+  }
+
+  return M;
+}

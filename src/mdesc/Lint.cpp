@@ -1,0 +1,67 @@
+//===- mdesc/Lint.cpp -----------------------------------------------------===//
+
+#include "mdesc/Lint.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+using namespace rmd;
+
+unsigned rmd::lintMachine(const MachineDescription &MD,
+                          DiagnosticEngine &Diags) {
+  unsigned Warnings = 0;
+  auto Warn = [&](const std::string &Message) {
+    Diags.warning({}, Message);
+    ++Warnings;
+  };
+
+  // Unused resources.
+  std::vector<bool> Used(MD.numResources(), false);
+  for (const Operation &Op : MD.operations())
+    for (const ReservationTable &RT : Op.Alternatives)
+      for (const ResourceUsage &U : RT.usages())
+        if (U.Resource < Used.size())
+          Used[U.Resource] = true;
+  for (ResourceId R = 0; R < MD.numResources(); ++R)
+    if (!Used[R])
+      Warn("resource '" + MD.resourceName(R) + "' is used by no operation");
+
+  std::map<std::vector<ResourceUsage>, std::string> FirstWithTable;
+  for (const Operation &Op : MD.operations()) {
+    // Empty tables.
+    bool AllEmpty = true;
+    for (const ReservationTable &RT : Op.Alternatives)
+      AllEmpty &= RT.empty();
+    if (AllEmpty)
+      Warn("operation '" + Op.Name +
+           "' uses no resources; it can issue anywhere");
+
+    // Over-long tables.
+    for (const ReservationTable &RT : Op.Alternatives)
+      if (RT.length() > 64)
+        Warn("operation '" + Op.Name + "' spans " +
+             std::to_string(RT.length()) +
+             " cycles; automaton-based modules are limited to 64");
+
+    // Duplicate alternatives within one operation.
+    std::set<std::vector<ResourceUsage>> Seen;
+    for (const ReservationTable &RT : Op.Alternatives)
+      if (!Seen.insert(RT.usages()).second) {
+        Warn("operation '" + Op.Name +
+             "' has duplicate alternatives (identical reservation tables)");
+        break;
+      }
+
+    // Identical single-alternative tables across operations: legitimate
+    // (classes merge them) but worth knowing about.
+    if (Op.Alternatives.size() == 1 && !Op.Alternatives.front().empty()) {
+      auto [It, Inserted] = FirstWithTable.emplace(
+          Op.Alternatives.front().usages(), Op.Name);
+      if (!Inserted)
+        Warn("operations '" + It->second + "' and '" + Op.Name +
+             "' have identical reservation tables (one operation class)");
+    }
+  }
+  return Warnings;
+}

@@ -1,0 +1,32 @@
+//===- mdesc/Lint.h - Machine description linting --------------*- C++ -*-===//
+///
+/// \file
+/// Style/consistency checks for machine descriptions beyond structural
+/// validation: hazards an author writing against the hardware is likely to
+/// introduce, reported as warnings (nothing here affects correctness --
+/// the reducer handles redundancy; these findings are about intent).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMD_MDESC_LINT_H
+#define RMD_MDESC_LINT_H
+
+#include "mdesc/MachineDescription.h"
+
+namespace rmd {
+
+/// Reports to \p Diags:
+///   - resources no operation ever uses;
+///   - operations with empty reservation tables (schedulable anywhere);
+///   - reservation tables longer than 64 cycles (beyond the automaton
+///     modules' horizon, and suspiciously long for a pipeline);
+///   - operations whose alternatives are exact duplicates of each other;
+///   - single-alternative operations spelled as one-alternative lists in
+///     the presence of identical tables under different operation names
+///     (likely a copy-paste: candidates for one operation class).
+/// Returns the number of warnings produced.
+unsigned lintMachine(const MachineDescription &MD, DiagnosticEngine &Diags);
+
+} // namespace rmd
+
+#endif // RMD_MDESC_LINT_H

@@ -1,0 +1,185 @@
+//===- mdesc/MachineDescription.cpp ---------------------------------------===//
+
+#include "mdesc/MachineDescription.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace rmd;
+
+ReservationTable::ReservationTable(std::vector<ResourceUsage> TheUsages)
+    : Usages(std::move(TheUsages)) {
+  std::sort(Usages.begin(), Usages.end());
+  Usages.erase(std::unique(Usages.begin(), Usages.end()), Usages.end());
+  for ([[maybe_unused]] const ResourceUsage &U : Usages)
+    assert(U.Cycle >= 0 && "reservation table cycles must be nonnegative");
+}
+
+void ReservationTable::addUsage(ResourceId Resource, int Cycle) {
+  assert(Cycle >= 0 && "reservation table cycles must be nonnegative");
+  ResourceUsage U{Resource, Cycle};
+  auto It = std::lower_bound(Usages.begin(), Usages.end(), U);
+  if (It != Usages.end() && *It == U)
+    return;
+  Usages.insert(It, U);
+}
+
+void ReservationTable::addUsageRange(ResourceId Resource, int First,
+                                     int Last) {
+  assert(First <= Last && "empty usage range");
+  for (int C = First; C <= Last; ++C)
+    addUsage(Resource, C);
+}
+
+int ReservationTable::length() const {
+  int MaxCycle = -1;
+  for (const ResourceUsage &U : Usages)
+    MaxCycle = std::max(MaxCycle, U.Cycle);
+  return MaxCycle + 1;
+}
+
+bool ReservationTable::uses(ResourceId Resource, int Cycle) const {
+  ResourceUsage U{Resource, Cycle};
+  return std::binary_search(Usages.begin(), Usages.end(), U);
+}
+
+std::vector<int> ReservationTable::usageSet(ResourceId Resource) const {
+  std::vector<int> Cycles;
+  for (const ResourceUsage &U : Usages)
+    if (U.Resource == Resource)
+      Cycles.push_back(U.Cycle);
+  return Cycles;
+}
+
+ResourceId ReservationTable::resourceBound() const {
+  ResourceId Bound = 0;
+  for (const ResourceUsage &U : Usages)
+    Bound = std::max(Bound, U.Resource + 1);
+  return Bound;
+}
+
+ReservationTable ReservationTable::shifted(int Delta) const {
+  std::vector<ResourceUsage> Shifted;
+  Shifted.reserve(Usages.size());
+  for (const ResourceUsage &U : Usages) {
+    assert(U.Cycle + Delta >= 0 && "shift would produce a negative cycle");
+    Shifted.push_back(ResourceUsage{U.Resource, U.Cycle + Delta});
+  }
+  return ReservationTable(std::move(Shifted));
+}
+
+ReservationTable ReservationTable::reversed() const {
+  int Len = length();
+  std::vector<ResourceUsage> Mirrored;
+  Mirrored.reserve(Usages.size());
+  for (const ResourceUsage &U : Usages)
+    Mirrored.push_back(ResourceUsage{U.Resource, Len - 1 - U.Cycle});
+  return ReservationTable(std::move(Mirrored));
+}
+
+ResourceId MachineDescription::addResource(std::string ResourceName) {
+  ResourceNames.push_back(std::move(ResourceName));
+  return static_cast<ResourceId>(ResourceNames.size() - 1);
+}
+
+OpId MachineDescription::addOperation(
+    std::string OpName, std::vector<ReservationTable> Alternatives) {
+  assert(!Alternatives.empty() && "operation requires >= 1 alternative");
+  Operations.push_back(Operation{std::move(OpName), std::move(Alternatives)});
+  return static_cast<OpId>(Operations.size() - 1);
+}
+
+OpId MachineDescription::addOperation(std::string OpName,
+                                      ReservationTable Table) {
+  std::vector<ReservationTable> Alts;
+  Alts.push_back(std::move(Table));
+  return addOperation(std::move(OpName), std::move(Alts));
+}
+
+OpId MachineDescription::findOperation(const std::string &OpName) const {
+  for (size_t I = 0; I < Operations.size(); ++I)
+    if (Operations[I].Name == OpName)
+      return static_cast<OpId>(I);
+  return static_cast<OpId>(Operations.size());
+}
+
+ResourceId
+MachineDescription::findResource(const std::string &ResourceName) const {
+  for (size_t I = 0; I < ResourceNames.size(); ++I)
+    if (ResourceNames[I] == ResourceName)
+      return static_cast<ResourceId>(I);
+  return static_cast<ResourceId>(ResourceNames.size());
+}
+
+bool MachineDescription::isExpanded() const {
+  for (const Operation &Op : Operations)
+    if (Op.Alternatives.size() != 1)
+      return false;
+  return true;
+}
+
+size_t MachineDescription::totalUsages() const {
+  size_t Total = 0;
+  for (const Operation &Op : Operations)
+    Total += Op.Alternatives.front().usageCount();
+  return Total;
+}
+
+int MachineDescription::maxTableLength() const {
+  int MaxLen = 0;
+  for (const Operation &Op : Operations)
+    for (const ReservationTable &RT : Op.Alternatives)
+      MaxLen = std::max(MaxLen, RT.length());
+  return MaxLen;
+}
+
+bool MachineDescription::validate(DiagnosticEngine &Diags) const {
+  unsigned Before = Diags.errorCount();
+
+  std::set<std::string> SeenResources;
+  for (const std::string &R : ResourceNames)
+    if (!SeenResources.insert(R).second)
+      Diags.error({}, "duplicate resource name '" + R + "'");
+
+  std::set<std::string> SeenOps;
+  for (const Operation &Op : Operations) {
+    if (!SeenOps.insert(Op.Name).second)
+      Diags.error({}, "duplicate operation name '" + Op.Name + "'");
+    if (Op.Alternatives.empty())
+      Diags.error({}, "operation '" + Op.Name + "' has no alternatives");
+    for (const ReservationTable &RT : Op.Alternatives) {
+      for (const ResourceUsage &U : RT.usages()) {
+        if (U.Resource >= ResourceNames.size())
+          Diags.error({}, "operation '" + Op.Name +
+                              "' uses out-of-range resource id " +
+                              std::to_string(U.Resource));
+        if (U.Cycle < 0)
+          Diags.error({}, "operation '" + Op.Name +
+                              "' has a negative usage cycle");
+      }
+    }
+  }
+  return Diags.errorCount() == Before;
+}
+
+ExpandedMachine rmd::expandAlternatives(const MachineDescription &MD) {
+  ExpandedMachine EM;
+  EM.Flat.setName(MD.name());
+  for (ResourceId R = 0; R < MD.numResources(); ++R)
+    EM.Flat.addResource(MD.resourceName(R));
+
+  for (size_t G = 0; G < MD.numOperations(); ++G) {
+    const Operation &Op = MD.operation(static_cast<OpId>(G));
+    EM.Groups.emplace_back();
+    for (size_t A = 0; A < Op.Alternatives.size(); ++A) {
+      std::string FlatName = Op.Name;
+      if (Op.Alternatives.size() > 1)
+        FlatName += "@" + std::to_string(A);
+      OpId Flat = EM.Flat.addOperation(FlatName, Op.Alternatives[A]);
+      EM.Groups.back().push_back(Flat);
+      EM.GroupOf.push_back(static_cast<uint32_t>(G));
+      EM.AlternativeIndexOf.push_back(static_cast<uint32_t>(A));
+    }
+  }
+  return EM;
+}

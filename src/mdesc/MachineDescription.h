@@ -1,0 +1,221 @@
+//===- mdesc/MachineDescription.h - Reservation-table machines -*- C++ -*-===//
+///
+/// \file
+/// The machine description core: reservation tables and operations, as in
+/// Section 3 of Eichenberger & Davidson (PLDI'96). A machine description
+/// consists of a set of named resources and a set of operations; each
+/// operation carries one or more *alternative* reservation tables (e.g. a
+/// load that may use either of two memory ports). A reservation table is a
+/// set of usages (resource, cycle): resource `r` is reserved for exclusive
+/// use during cycle `c` relative to the operation's issue cycle.
+///
+/// Alternative resource usages are removed by expandAlternatives(), which
+/// replaces each operation with one *alternative operation* per reservation
+/// table (the paper's X -> X0, X1 preprocessing) and records the grouping so
+/// that query modules can implement check-with-alternatives.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMD_MDESC_MACHINEDESCRIPTION_H
+#define RMD_MDESC_MACHINEDESCRIPTION_H
+
+#include "support/Diagnostics.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rmd {
+
+/// Index of a resource within a MachineDescription.
+using ResourceId = uint32_t;
+
+/// Index of an operation within a MachineDescription.
+using OpId = uint32_t;
+
+/// One reservation-table entry: resource \p Resource is reserved for
+/// exclusive use during cycle \p Cycle relative to the issue cycle.
+struct ResourceUsage {
+  ResourceId Resource = 0;
+  int Cycle = 0;
+
+  friend bool operator==(const ResourceUsage &A, const ResourceUsage &B) {
+    return A.Resource == B.Resource && A.Cycle == B.Cycle;
+  }
+  friend bool operator<(const ResourceUsage &A, const ResourceUsage &B) {
+    if (A.Resource != B.Resource)
+      return A.Resource < B.Resource;
+    return A.Cycle < B.Cycle;
+  }
+};
+
+/// A reservation table: the set of resource usages of one operation (or of
+/// one alternative of an operation). Stored sparsely as a sorted,
+/// duplicate-free vector of usages.
+class ReservationTable {
+public:
+  ReservationTable() = default;
+  explicit ReservationTable(std::vector<ResourceUsage> TheUsages);
+
+  /// Adds a usage of \p Resource at \p Cycle. Duplicate insertions are
+  /// ignored. \p Cycle must be nonnegative.
+  void addUsage(ResourceId Resource, int Cycle);
+
+  /// Adds usages of \p Resource for every cycle in [\p First, \p Last].
+  void addUsageRange(ResourceId Resource, int First, int Last);
+
+  const std::vector<ResourceUsage> &usages() const { return Usages; }
+  bool empty() const { return Usages.empty(); }
+  size_t usageCount() const { return Usages.size(); }
+
+  /// Number of cycles spanned: one past the largest used cycle (0 if empty).
+  int length() const;
+
+  /// Returns true if \p Resource is reserved at \p Cycle.
+  bool uses(ResourceId Resource, int Cycle) const;
+
+  /// Returns the usage set of \p Resource: the sorted cycles in which this
+  /// table reserves it (the paper's X_i).
+  std::vector<int> usageSet(ResourceId Resource) const;
+
+  /// Returns the largest resource id mentioned plus one (0 if empty).
+  ResourceId resourceBound() const;
+
+  /// Returns a copy with every usage cycle translated by \p Delta. The
+  /// resulting cycles must remain nonnegative.
+  ReservationTable shifted(int Delta) const;
+
+  /// Returns a copy mirrored in time about this table's span: cycle c maps
+  /// to length()-1-c. Used to build reverse-automaton machine descriptions.
+  ReservationTable reversed() const;
+
+  friend bool operator==(const ReservationTable &A,
+                         const ReservationTable &B) {
+    return A.Usages == B.Usages;
+  }
+
+private:
+  std::vector<ResourceUsage> Usages;
+};
+
+/// An operation of the target machine with one or more alternative
+/// reservation tables. Most operations have exactly one alternative.
+struct Operation {
+  std::string Name;
+  std::vector<ReservationTable> Alternatives;
+
+  /// Convenience accessor for single-alternative operations.
+  const ReservationTable &table() const {
+    assert(Alternatives.size() == 1 &&
+           "table() requires a single-alternative operation");
+    return Alternatives.front();
+  }
+
+  friend bool operator==(const Operation &A, const Operation &B) {
+    return A.Name == B.Name && A.Alternatives == B.Alternatives;
+  }
+};
+
+/// A complete machine description: named resources plus operations. This is
+/// the input to the forbidden-latency computation and the reduction, and the
+/// output format of the reduction (synthesized resources are ordinary
+/// resources of a new MachineDescription).
+class MachineDescription {
+public:
+  MachineDescription() = default;
+  explicit MachineDescription(std::string Name) : Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+  void setName(std::string NewName) { Name = std::move(NewName); }
+
+  /// Registers a resource and returns its id.
+  ResourceId addResource(std::string ResourceName);
+
+  /// Registers an operation with the given alternatives and returns its id.
+  /// At least one alternative is required; alternatives may be empty tables
+  /// (an operation that uses no resources).
+  OpId addOperation(std::string OpName,
+                    std::vector<ReservationTable> Alternatives);
+
+  /// Registers a single-alternative operation.
+  OpId addOperation(std::string OpName, ReservationTable Table);
+
+  size_t numResources() const { return ResourceNames.size(); }
+  size_t numOperations() const { return Operations.size(); }
+
+  const std::string &resourceName(ResourceId R) const {
+    assert(R < ResourceNames.size() && "resource id out of range");
+    return ResourceNames[R];
+  }
+  const std::vector<std::string> &resourceNames() const {
+    return ResourceNames;
+  }
+
+  const Operation &operation(OpId Op) const {
+    assert(Op < Operations.size() && "operation id out of range");
+    return Operations[Op];
+  }
+  const std::vector<Operation> &operations() const { return Operations; }
+
+  /// Finds an operation by name; returns numOperations() if absent.
+  OpId findOperation(const std::string &OpName) const;
+
+  /// Finds a resource by name; returns numResources() if absent.
+  ResourceId findResource(const std::string &ResourceName) const;
+
+  /// True if every operation has exactly one alternative.
+  bool isExpanded() const;
+
+  /// Sum of usage counts over all operations (first alternative only when
+  /// not expanded).
+  size_t totalUsages() const;
+
+  /// Largest reservation table length over all alternatives of all ops.
+  int maxTableLength() const;
+
+  /// Checks structural invariants (resource ids in range, nonnegative
+  /// cycles, at least one alternative per operation, unique names),
+  /// reporting problems to \p Diags. Returns true if no errors were found.
+  bool validate(DiagnosticEngine &Diags) const;
+
+  /// Structural equality: same name, resources, operations and tables.
+  friend bool operator==(const MachineDescription &A,
+                         const MachineDescription &B) {
+    return A.Name == B.Name && A.ResourceNames == B.ResourceNames &&
+           A.Operations == B.Operations;
+  }
+
+private:
+  std::string Name;
+  std::vector<std::string> ResourceNames;
+  std::vector<Operation> Operations;
+};
+
+/// The result of removing alternative resource usages from a machine
+/// description: a flat machine in which every operation has exactly one
+/// reservation table, plus the grouping of alternative operations.
+struct ExpandedMachine {
+  /// The flat description. Operation ids are *new*; alternative operations
+  /// of original operation `o` are named "<o.Name>" (single alternative) or
+  /// "<o.Name>@<k>" (k-th alternative).
+  MachineDescription Flat;
+
+  /// Groups[g] lists the flat OpIds that are alternatives of original
+  /// operation g, in alternative order.
+  std::vector<std::vector<OpId>> Groups;
+
+  /// GroupOf[flatOp] is the original operation (== group index).
+  std::vector<uint32_t> GroupOf;
+
+  /// AlternativeIndexOf[flatOp] is the index within its group.
+  std::vector<uint32_t> AlternativeIndexOf;
+};
+
+/// Replaces each multi-alternative operation of \p MD with one operation per
+/// alternative (the paper's preprocessing step in Section 3).
+ExpandedMachine expandAlternatives(const MachineDescription &MD);
+
+} // namespace rmd
+
+#endif // RMD_MDESC_MACHINEDESCRIPTION_H

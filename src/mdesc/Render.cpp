@@ -1,0 +1,67 @@
+//===- mdesc/Render.cpp ---------------------------------------------------===//
+
+#include "mdesc/Render.h"
+
+#include <algorithm>
+#include <ostream>
+#include <string>
+#include <vector>
+
+using namespace rmd;
+
+void rmd::renderTable(std::ostream &OS, const MachineDescription &MD,
+                      const ReservationTable &RT, bool AllRows) {
+  int Len = std::max(RT.length(), 1);
+
+  std::vector<ResourceId> Rows;
+  if (AllRows) {
+    for (ResourceId R = 0; R < MD.numResources(); ++R)
+      Rows.push_back(R);
+  } else {
+    for (const ResourceUsage &U : RT.usages())
+      if (Rows.empty() || Rows.back() != U.Resource)
+        Rows.push_back(U.Resource);
+    std::sort(Rows.begin(), Rows.end());
+    Rows.erase(std::unique(Rows.begin(), Rows.end()), Rows.end());
+  }
+
+  size_t NameWidth = 5;
+  for (ResourceId R : Rows)
+    NameWidth = std::max(NameWidth, MD.resourceName(R).size());
+
+  OS << std::string(NameWidth, ' ') << " |";
+  for (int C = 0; C < Len; ++C)
+    OS << ' ' << (C % 10);
+  OS << '\n';
+  OS << std::string(NameWidth, '-') << "-+" << std::string(2 * Len, '-')
+     << '\n';
+
+  for (ResourceId R : Rows) {
+    const std::string &Name = MD.resourceName(R);
+    OS << Name << std::string(NameWidth - Name.size(), ' ') << " |";
+    for (int C = 0; C < Len; ++C)
+      OS << ' ' << (RT.uses(R, C) ? 'X' : '.');
+    OS << '\n';
+  }
+}
+
+void rmd::renderMachine(std::ostream &OS, const MachineDescription &MD) {
+  renderSummary(OS, MD);
+  for (const Operation &Op : MD.operations()) {
+    OS << "\noperation " << Op.Name;
+    if (Op.Alternatives.size() > 1)
+      OS << " (" << Op.Alternatives.size() << " alternatives)";
+    OS << ":\n";
+    for (const ReservationTable &RT : Op.Alternatives)
+      renderTable(OS, MD, RT);
+  }
+}
+
+void rmd::renderSummary(std::ostream &OS, const MachineDescription &MD) {
+  size_t Usages = 0;
+  for (const Operation &Op : MD.operations())
+    for (const ReservationTable &RT : Op.Alternatives)
+      Usages += RT.usageCount();
+  OS << MD.name() << ": " << MD.numResources() << " resources, "
+     << MD.numOperations() << " operations, " << Usages << " usages\n";
+}

@@ -1,0 +1,33 @@
+//===- mdesc/Render.h - Reservation table pretty printing ------*- C++ -*-===//
+///
+/// \file
+/// Renders reservation tables and machine descriptions in the paper's
+/// visual style (Figures 1 and 4): rows are resources, columns are cycles,
+/// and an 'X' marks a reserved cycle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMD_MDESC_RENDER_H
+#define RMD_MDESC_RENDER_H
+
+#include "mdesc/MachineDescription.h"
+
+#include <iosfwd>
+
+namespace rmd {
+
+/// Renders the reservation table \p RT of machine \p MD to \p OS, one row
+/// per resource that \p RT uses (or all resources when \p AllRows is true).
+void renderTable(std::ostream &OS, const MachineDescription &MD,
+                 const ReservationTable &RT, bool AllRows = false);
+
+/// Renders every operation's (first-alternative) reservation table, with the
+/// operation name as a heading. This is the Figure 4 rendering.
+void renderMachine(std::ostream &OS, const MachineDescription &MD);
+
+/// One-line summary: "<name>: R resources, N operations, U usages".
+void renderSummary(std::ostream &OS, const MachineDescription &MD);
+
+} // namespace rmd
+
+#endif // RMD_MDESC_RENDER_H

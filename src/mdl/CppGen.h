@@ -1,0 +1,33 @@
+//===- mdl/CppGen.h - Emit machine descriptions as C++ tables --*- C++ -*-===//
+///
+/// \file
+/// Emits a machine description as a self-contained C++ header of constexpr
+/// tables -- the form production compilers embed their (reduced) machine
+/// descriptions in. Together with mdlreduce this completes the paper's
+/// intended toolchain: hardware-level MDL in, verified reduced description
+/// out, compiled into the scheduler as static data.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMD_MDL_CPPGEN_H
+#define RMD_MDL_CPPGEN_H
+
+#include "mdesc/MachineDescription.h"
+
+#include <string>
+#include <string_view>
+
+namespace rmd {
+
+/// Renders \p MD (expanded) as a C++17 header in namespace \p Namespace.
+/// The header defines:
+///   - kNumResources, kNumOperations, kMaxTableLength;
+///   - kResourceNames[];
+///   - Usage {Resource, Cycle} and one constexpr usage array per operation;
+///   - Operation {Name, Usages, NumUsages} and kOperations[].
+std::string writeCppTables(const MachineDescription &MD,
+                           std::string_view Namespace);
+
+} // namespace rmd
+
+#endif // RMD_MDL_CPPGEN_H

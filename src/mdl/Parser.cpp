@@ -1,0 +1,223 @@
+//===- mdl/Parser.cpp -----------------------------------------------------===//
+
+#include "mdl/Parser.h"
+
+#include "mdl/Lexer.h"
+
+#include <map>
+
+using namespace rmd;
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::string_view Input, DiagnosticEngine &Diags,
+         MdlAnnotations *Annotations)
+      : Lex(Input, Diags), Diags(Diags), Annotations(Annotations) {}
+
+  std::optional<MachineDescription> parseFile() {
+    if (!expectKeyword("machine"))
+      return std::nullopt;
+    Token Name = Lex.take();
+    if (!Name.is(TokenKind::Identifier)) {
+      Diags.error(Name.Loc, "expected machine name");
+      return std::nullopt;
+    }
+    MD.setName(Name.Text);
+
+    if (!expect(TokenKind::LBrace, "'{'"))
+      return std::nullopt;
+    while (!Lex.peek().is(TokenKind::RBrace)) {
+      if (Lex.peek().is(TokenKind::EndOfFile)) {
+        Diags.error(Lex.location(), "unexpected end of file in machine body");
+        return std::nullopt;
+      }
+      if (Lex.peek().isKeyword("resources")) {
+        if (!parseResources())
+          return std::nullopt;
+      } else if (Lex.peek().isKeyword("operation")) {
+        if (!parseOperation())
+          return std::nullopt;
+      } else {
+        Diags.error(Lex.location(),
+                    "expected 'resources' or 'operation', got '" +
+                        Lex.peek().Text + "'");
+        return std::nullopt;
+      }
+    }
+    Lex.take(); // '}'
+    if (!Lex.peek().is(TokenKind::EndOfFile)) {
+      Diags.error(Lex.location(), "trailing input after machine body");
+      return std::nullopt;
+    }
+    if (!MD.validate(Diags))
+      return std::nullopt;
+    return std::move(MD);
+  }
+
+private:
+  bool expect(TokenKind Kind, const char *What) {
+    Token T = Lex.take();
+    if (T.is(Kind))
+      return true;
+    Diags.error(T.Loc, std::string("expected ") + What);
+    return false;
+  }
+
+  bool expectKeyword(const char *KW) {
+    Token T = Lex.take();
+    if (T.isKeyword(KW))
+      return true;
+    Diags.error(T.Loc, std::string("expected '") + KW + "'");
+    return false;
+  }
+
+  bool parseResources() {
+    Lex.take(); // 'resources'
+    for (;;) {
+      Token Name = Lex.take();
+      if (!Name.is(TokenKind::Identifier)) {
+        Diags.error(Name.Loc, "expected resource name");
+        return false;
+      }
+      if (Resources.count(Name.Text)) {
+        Diags.error(Name.Loc, "duplicate resource '" + Name.Text + "'");
+        return false;
+      }
+      Resources[Name.Text] = MD.addResource(Name.Text);
+      if (Lex.peek().is(TokenKind::Comma)) {
+        Lex.take();
+        continue;
+      }
+      return expect(TokenKind::Semicolon, "';'");
+    }
+  }
+
+  /// Parses usages until the closing brace of the current block.
+  bool parseUsages(ReservationTable &RT) {
+    while (!Lex.peek().is(TokenKind::RBrace)) {
+      Token Name = Lex.take();
+      if (!Name.is(TokenKind::Identifier)) {
+        Diags.error(Name.Loc, "expected resource name in usage");
+        return false;
+      }
+      auto It = Resources.find(Name.Text);
+      if (It == Resources.end()) {
+        Diags.error(Name.Loc, "unknown resource '" + Name.Text + "'");
+        return false;
+      }
+      if (!expectKeyword("at"))
+        return false;
+      Token First = Lex.take();
+      if (!First.is(TokenKind::Integer)) {
+        Diags.error(First.Loc, "expected cycle number");
+        return false;
+      }
+      long Last = First.Value;
+      if (Lex.peek().is(TokenKind::DotDot)) {
+        Lex.take();
+        Token LastTok = Lex.take();
+        if (!LastTok.is(TokenKind::Integer)) {
+          Diags.error(LastTok.Loc, "expected cycle number after '..'");
+          return false;
+        }
+        Last = LastTok.Value;
+        if (Last < First.Value) {
+          Diags.error(LastTok.Loc, "empty cycle range");
+          return false;
+        }
+      }
+      RT.addUsageRange(It->second, static_cast<int>(First.Value),
+                       static_cast<int>(Last));
+      if (!expect(TokenKind::Semicolon, "';'"))
+        return false;
+    }
+    return true;
+  }
+
+  bool parseOperation() {
+    Lex.take(); // 'operation'
+    Token Name = Lex.take();
+    if (!Name.is(TokenKind::Identifier)) {
+      Diags.error(Name.Loc, "expected operation name");
+      return false;
+    }
+
+    // Optional scheduling annotations.
+    int Latency = -1;
+    std::string Role;
+    for (;;) {
+      if (Lex.peek().isKeyword("latency")) {
+        Lex.take();
+        Token Value = Lex.take();
+        if (!Value.is(TokenKind::Integer)) {
+          Diags.error(Value.Loc, "expected latency value");
+          return false;
+        }
+        Latency = static_cast<int>(Value.Value);
+        continue;
+      }
+      if (Lex.peek().isKeyword("role")) {
+        Lex.take();
+        Token Value = Lex.take();
+        if (!Value.is(TokenKind::Identifier)) {
+          Diags.error(Value.Loc, "expected role name");
+          return false;
+        }
+        Role = Value.Text;
+        continue;
+      }
+      break;
+    }
+
+    if (!expect(TokenKind::LBrace, "'{'"))
+      return false;
+
+    std::vector<ReservationTable> Alternatives;
+    if (Lex.peek().isKeyword("alternative")) {
+      while (Lex.peek().isKeyword("alternative")) {
+        Lex.take();
+        if (!expect(TokenKind::LBrace, "'{'"))
+          return false;
+        ReservationTable RT;
+        if (!parseUsages(RT))
+          return false;
+        Lex.take(); // '}'
+        Alternatives.push_back(std::move(RT));
+      }
+    } else {
+      // Shorthand: bare usages form a single alternative (possibly empty).
+      ReservationTable RT;
+      if (!parseUsages(RT))
+        return false;
+      Alternatives.push_back(std::move(RT));
+    }
+    if (!expect(TokenKind::RBrace, "'}'"))
+      return false;
+    MD.addOperation(Name.Text, std::move(Alternatives));
+    if (Annotations) {
+      Annotations->Latency.push_back(Latency);
+      Annotations->Role.push_back(Role);
+    }
+    return true;
+  }
+
+  Lexer Lex;
+  DiagnosticEngine &Diags;
+  MdlAnnotations *Annotations;
+  MachineDescription MD;
+  std::map<std::string, ResourceId> Resources;
+};
+
+} // namespace
+
+std::optional<MachineDescription>
+rmd::parseMdl(std::string_view Input, DiagnosticEngine &Diags,
+              MdlAnnotations *Annotations) {
+  Parser P(Input, Diags, Annotations);
+  std::optional<MachineDescription> Result = P.parseFile();
+  if (Diags.hasErrors())
+    return std::nullopt;
+  return Result;
+}

@@ -1,0 +1,51 @@
+//===- mdl/Parser.h - Machine description language parser ------*- C++ -*-===//
+///
+/// \file
+/// Recursive-descent parser for the MDL (see Lexer.h for the grammar by
+/// example). Grammar:
+///
+///   file        := machine EOF
+///   machine     := 'machine' name '{' (resources | operation)* '}'
+///   resources   := 'resources' name (',' name)* ';'
+///   operation   := 'operation' name annotation* '{' body '}'
+///   annotation  := 'latency' INT | 'role' name
+///   body        := alternative+ | usage*        (usages = one alternative)
+///   alternative := 'alternative' '{' usage* '}'
+///   usage       := name 'at' INT ('..' INT)? ';'
+///
+/// Annotations carry the scheduling metadata of a MachineModel (producer
+/// latency and workload role); plain parseMdl() ignores them, and
+/// machines/MdlModel.h resolves them into a MachineModel.
+///
+/// Errors are reported with source locations through the DiagnosticEngine;
+/// the parser returns std::nullopt if any error occurred.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMD_MDL_PARSER_H
+#define RMD_MDL_PARSER_H
+
+#include "mdesc/MachineDescription.h"
+
+#include <optional>
+#include <string_view>
+
+namespace rmd {
+
+/// Per-operation annotations collected while parsing (parallel to the
+/// returned description's operation ids). Latency -1 / empty role mean
+/// "not annotated".
+struct MdlAnnotations {
+  std::vector<int> Latency;
+  std::vector<std::string> Role;
+};
+
+/// Parses an MDL buffer into a machine description. When \p Annotations is
+/// non-null, per-operation latency/role annotations are stored there.
+std::optional<MachineDescription>
+parseMdl(std::string_view Input, DiagnosticEngine &Diags,
+         MdlAnnotations *Annotations = nullptr);
+
+} // namespace rmd
+
+#endif // RMD_MDL_PARSER_H

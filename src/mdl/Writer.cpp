@@ -1,0 +1,64 @@
+//===- mdl/Writer.cpp -----------------------------------------------------===//
+
+#include "mdl/Writer.h"
+
+using namespace rmd;
+
+/// Appends the usages of \p RT, one per line with \p Indent, merging
+/// consecutive cycles of one resource into ranges.
+static void writeUsages(std::string &Out, const MachineDescription &MD,
+                        const ReservationTable &RT, const char *Indent) {
+  const auto &Usages = RT.usages();
+  for (size_t I = 0; I < Usages.size();) {
+    ResourceId R = Usages[I].Resource;
+    int First = Usages[I].Cycle;
+    int Last = First;
+    size_t J = I + 1;
+    while (J < Usages.size() && Usages[J].Resource == R &&
+           Usages[J].Cycle == Last + 1) {
+      ++Last;
+      ++J;
+    }
+    Out += Indent;
+    Out += MD.resourceName(R);
+    Out += " at ";
+    Out += std::to_string(First);
+    if (Last != First) {
+      Out += " .. ";
+      Out += std::to_string(Last);
+    }
+    Out += ";\n";
+    I = J;
+  }
+}
+
+std::string rmd::writeMdl(const MachineDescription &MD) {
+  std::string Out;
+  Out += "machine " + MD.name() + " {\n";
+
+  if (MD.numResources() > 0) {
+    Out += "  resources ";
+    for (ResourceId R = 0; R < MD.numResources(); ++R) {
+      if (R != 0)
+        Out += ", ";
+      Out += MD.resourceName(R);
+    }
+    Out += ";\n";
+  }
+
+  for (const Operation &Op : MD.operations()) {
+    Out += "\n  operation " + Op.Name + " {\n";
+    if (Op.Alternatives.size() == 1) {
+      writeUsages(Out, MD, Op.Alternatives.front(), "    ");
+    } else {
+      for (const ReservationTable &RT : Op.Alternatives) {
+        Out += "    alternative {\n";
+        writeUsages(Out, MD, RT, "      ");
+        Out += "    }\n";
+      }
+    }
+    Out += "  }\n";
+  }
+  Out += "}\n";
+  return Out;
+}

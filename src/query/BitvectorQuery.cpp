@@ -1,0 +1,369 @@
+//===- query/BitvectorQuery.cpp -------------------------------------------===//
+
+#include "query/BitvectorQuery.h"
+
+#include "query/DiscreteQuery.h" // hasModuloSelfConflict
+#include "reduce/Metrics.h"      // cyclesPerWord
+#include "support/FatalError.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace rmd;
+
+BitvectorQueryModule::BitvectorQueryModule(const MachineDescription &TheMD,
+                                           QueryConfig TheConfig)
+    : MD(TheMD), Config(TheConfig), NumResources(TheMD.numResources()) {
+  assert(MD.isExpanded() && "query module requires an expanded machine");
+  assert(NumResources <= Config.WordBits &&
+         "bitvector representation requires numResources <= WordBits; "
+         "reduce the machine description first");
+  K = cyclesPerWord(NumResources, Config.WordBits);
+  if (Config.CyclesPerWordOverride > 0) {
+    assert(Config.CyclesPerWordOverride <= K &&
+           "cycles-per-word override exceeds what the word width holds");
+    K = Config.CyclesPerWordOverride;
+  }
+
+  if (Config.Mode == QueryConfig::Modulo) {
+    assert(Config.ModuloII > 0 && "modulo mode requires a positive II");
+    NumPhases = static_cast<unsigned>(Config.ModuloII);
+    ensureWords((static_cast<size_t>(Config.ModuloII) + K - 1) / K);
+    SelfConflict.assign(MD.numOperations(), 0);
+    for (OpId Op = 0; Op < MD.numOperations(); ++Op)
+      SelfConflict[Op] =
+          hasModuloSelfConflict(MD.operation(Op).table(), Config.ModuloII);
+  } else {
+    NumPhases = K;
+  }
+  buildPatterns();
+}
+
+void BitvectorQueryModule::buildPatterns() {
+  Patterns.assign(MD.numOperations() * NumPhases, {});
+  for (OpId Op = 0; Op < MD.numOperations(); ++Op) {
+    const ReservationTable &RT = MD.operation(Op).table();
+    for (unsigned Phase = 0; Phase < NumPhases; ++Phase) {
+      // Accumulate masks per word; offsets stay sorted because usages are
+      // visited in per-word order after the bucketing below.
+      std::vector<WordMask> &Out = Patterns[Op * NumPhases + Phase];
+      for (const ResourceUsage &U : RT.usages()) {
+        int Word;
+        unsigned Lane;
+        if (Config.Mode == QueryConfig::Modulo) {
+          // Phase is the issue slot within the MRT.
+          int Slot = (static_cast<int>(Phase) + U.Cycle) % Config.ModuloII;
+          Word = Slot / static_cast<int>(K);
+          Lane = static_cast<unsigned>(Slot) % K;
+        } else {
+          // Phase is the issue cycle's position within its word.
+          int Shifted = static_cast<int>(Phase) + U.Cycle;
+          Word = Shifted / static_cast<int>(K);
+          Lane = static_cast<unsigned>(Shifted) % K;
+        }
+        uint64_t Bit = 1ull
+                       << (Lane * static_cast<unsigned>(NumResources) +
+                           U.Resource);
+        auto It = std::find_if(Out.begin(), Out.end(), [&](const WordMask &W) {
+          return W.WordOffset == Word;
+        });
+        if (It == Out.end())
+          Out.push_back(WordMask{Word, Bit});
+        else
+          It->Mask |= Bit;
+      }
+      std::sort(Out.begin(), Out.end(),
+                [](const WordMask &A, const WordMask &B) {
+                  return A.WordOffset < B.WordOffset;
+                });
+    }
+  }
+}
+
+void BitvectorQueryModule::ensureWords(size_t WordCount) {
+  if (WordCount <= Words.size())
+    return;
+  size_t NewSize = Words.empty() ? WordCount : Words.size();
+  while (NewSize < WordCount)
+    NewSize *= 2;
+  Words.resize(NewSize, 0);
+  if (UpdateMode)
+    Owner.resize(NewSize * K * NumResources, -1);
+}
+
+void BitvectorQueryModule::locate(int Cycle, size_t &WordBase,
+                                  unsigned &Phase) const {
+  if (Config.Mode == QueryConfig::Modulo) {
+    int Slot = Cycle % Config.ModuloII;
+    if (Slot < 0)
+      Slot += Config.ModuloII;
+    WordBase = 0; // modulo patterns use absolute word indices
+    Phase = static_cast<unsigned>(Slot);
+    return;
+  }
+  assert(Cycle >= Config.MinCycle && "cycle below the linear window");
+  size_t Rel = static_cast<size_t>(Cycle - Config.MinCycle);
+  WordBase = Rel / K;
+  Phase = static_cast<unsigned>(Rel % K);
+}
+
+size_t BitvectorQueryModule::cycleSlot(int AbsCycle) const {
+  if (Config.Mode == QueryConfig::Modulo) {
+    int Slot = AbsCycle % Config.ModuloII;
+    if (Slot < 0)
+      Slot += Config.ModuloII;
+    return static_cast<size_t>(Slot);
+  }
+  assert(AbsCycle >= Config.MinCycle && "cycle below the linear window");
+  return static_cast<size_t>(AbsCycle - Config.MinCycle);
+}
+
+void BitvectorQueryModule::setBit(size_t Slot, ResourceId R) {
+  size_t Word = Slot / K;
+  unsigned Lane = static_cast<unsigned>(Slot % K);
+  ensureWords(Word + 1);
+  Words[Word] |= 1ull << (Lane * NumResources + R);
+}
+
+void BitvectorQueryModule::clearBit(size_t Slot, ResourceId R) {
+  size_t Word = Slot / K;
+  unsigned Lane = static_cast<unsigned>(Slot % K);
+  if (Word >= Words.size())
+    return;
+  Words[Word] &= ~(1ull << (Lane * NumResources + R));
+}
+
+bool BitvectorQueryModule::testBit(size_t Slot, ResourceId R) const {
+  size_t Word = Slot / K;
+  if (Word >= Words.size())
+    return false;
+  unsigned Lane = static_cast<unsigned>(Slot % K);
+  return (Words[Word] >> (Lane * NumResources + R)) & 1;
+}
+
+bool BitvectorQueryModule::check(OpId Op, int Cycle) {
+  ++Counters.CheckCalls;
+  if (Config.Mode == QueryConfig::Modulo && SelfConflict[Op]) {
+    ++Counters.CheckUnits;
+    return false;
+  }
+  size_t WordBase;
+  unsigned Phase;
+  locate(Cycle, WordBase, Phase);
+  for (const WordMask &W : pattern(Op, Phase)) {
+    ++Counters.CheckUnits;
+    size_t Index = WordBase + static_cast<size_t>(W.WordOffset);
+    if (Index < Words.size() && (Words[Index] & W.Mask))
+      return false; // abort on first conflicting word
+  }
+  return true;
+}
+
+void BitvectorQueryModule::assign(OpId Op, int Cycle, InstanceId Instance) {
+  ++Counters.AssignCalls;
+  assert((Config.Mode != QueryConfig::Modulo || !SelfConflict[Op]) &&
+         "assigning an operation that self-conflicts at this II");
+  size_t WordBase;
+  unsigned Phase;
+  locate(Cycle, WordBase, Phase);
+  for (const WordMask &W : pattern(Op, Phase)) {
+    ++Counters.AssignUnits;
+    size_t Index = WordBase + static_cast<size_t>(W.WordOffset);
+    ensureWords(Index + 1);
+    assert((Words[Index] & W.Mask) == 0 &&
+           "assign over reserved resources; use assignAndFree");
+    Words[Index] |= W.Mask;
+  }
+  // Owner fields are maintained only after a transition (update mode);
+  // keeping them current here is bookkeeping, not counted work.
+  if (UpdateMode) {
+    for (const ResourceUsage &U : MD.operation(Op).table().usages()) {
+      size_t Slot = cycleSlot(Cycle + U.Cycle);
+      Owner[cellIndex(Slot, U.Resource)] = Instance;
+    }
+  }
+  [[maybe_unused]] bool Inserted =
+      Instances.emplace(Instance, InstanceInfo{Op, Cycle}).second;
+  assert(Inserted && "instance id already scheduled");
+}
+
+void BitvectorQueryModule::free(OpId Op, int Cycle, InstanceId Instance) {
+  ++Counters.FreeCalls;
+  size_t WordBase;
+  unsigned Phase;
+  locate(Cycle, WordBase, Phase);
+  for (const WordMask &W : pattern(Op, Phase)) {
+    ++Counters.FreeUnits;
+    size_t Index = WordBase + static_cast<size_t>(W.WordOffset);
+    if (Index < Words.size())
+      Words[Index] &= ~W.Mask;
+  }
+  if (UpdateMode) {
+    for (const ResourceUsage &U : MD.operation(Op).table().usages()) {
+      size_t Slot = cycleSlot(Cycle + U.Cycle);
+      Owner[cellIndex(Slot, U.Resource)] = -1;
+    }
+  }
+  [[maybe_unused]] size_t Erased = Instances.erase(Instance);
+  assert(Erased == 1 && "freeing an unscheduled instance");
+}
+
+void BitvectorQueryModule::transitionToUpdateMode() {
+  UpdateMode = true;
+  Owner.assign(Words.size() * K * NumResources, -1);
+  // Scan the entire list of scheduled operations to reconstruct the owner
+  // fields (the paper's transition overhead).
+  for (const auto &[Instance, Info] : Instances) {
+    for (const ResourceUsage &U : MD.operation(Info.Op).table().usages()) {
+      ++Counters.TransitionUnits;
+      ++Counters.AssignFreeUnits;
+      size_t Slot = cycleSlot(Info.Cycle + U.Cycle);
+      Owner[cellIndex(Slot, U.Resource)] = Instance;
+    }
+  }
+}
+
+void BitvectorQueryModule::evict(InstanceId Instance) {
+  auto It = Instances.find(Instance);
+  assert(It != Instances.end() && "evicting an unknown instance");
+  for (const ResourceUsage &U : MD.operation(It->second.Op).table().usages()) {
+    ++Counters.AssignFreeUnits;
+    size_t Slot = cycleSlot(It->second.Cycle + U.Cycle);
+    clearBit(Slot, U.Resource);
+    Owner[cellIndex(Slot, U.Resource)] = -1;
+  }
+  Instances.erase(It);
+}
+
+void BitvectorQueryModule::assignAndFree(OpId Op, int Cycle,
+                                         InstanceId Instance,
+                                         std::vector<InstanceId> &Evicted) {
+  ++Counters.AssignFreeCalls;
+  if (Config.Mode == QueryConfig::Modulo && SelfConflict[Op])
+    fatalError("assignAndFree on an operation that self-conflicts at this "
+               "II; the scheduler must raise the II instead");
+
+  if (!UpdateMode) {
+    // Optimistic mode: test word-at-a-time; if clean, reserve by ORing the
+    // same words (one combined and+or per word is one unit of work).
+    size_t WordBase;
+    unsigned Phase;
+    locate(Cycle, WordBase, Phase);
+    bool Conflict = false;
+    for (const WordMask &W : pattern(Op, Phase)) {
+      ++Counters.AssignFreeUnits;
+      size_t Index = WordBase + static_cast<size_t>(W.WordOffset);
+      if (Index < Words.size() && (Words[Index] & W.Mask)) {
+        Conflict = true;
+        break;
+      }
+    }
+    if (!Conflict) {
+      for (const WordMask &W : pattern(Op, Phase)) {
+        size_t Index = WordBase + static_cast<size_t>(W.WordOffset);
+        ensureWords(Index + 1);
+        Words[Index] |= W.Mask;
+      }
+      [[maybe_unused]] bool Inserted =
+          Instances.emplace(Instance, InstanceInfo{Op, Cycle}).second;
+      assert(Inserted && "instance id already scheduled");
+      return;
+    }
+    transitionToUpdateMode();
+  }
+
+  // Update mode: iterate resource usages, evicting conflicting owners and
+  // keeping owner fields current.
+  for (const ResourceUsage &U : MD.operation(Op).table().usages()) {
+    ++Counters.AssignFreeUnits;
+    size_t Slot = cycleSlot(Cycle + U.Cycle);
+    // ensureWords via setBit below also grows Owner; grow before testing.
+    if (testBit(Slot, U.Resource)) {
+      InstanceId Victim = Owner[cellIndex(Slot, U.Resource)];
+      if (Victim == Instance || Victim < 0)
+        fatalError("inconsistent owner fields in update mode");
+      Evicted.push_back(Victim);
+      evict(Victim);
+    }
+    setBit(Slot, U.Resource);
+    if (cellIndex(Slot, U.Resource) >= Owner.size())
+      Owner.resize(Words.size() * K * NumResources, -1);
+    Owner[cellIndex(Slot, U.Resource)] = Instance;
+  }
+  [[maybe_unused]] bool Inserted =
+      Instances.emplace(Instance, InstanceInfo{Op, Cycle}).second;
+  assert(Inserted && "instance id already scheduled");
+}
+
+const std::vector<std::vector<BitvectorQueryModule::WordMask>> &
+BitvectorQueryModule::unionPatternsFor(
+    const std::vector<OpId> &Alternatives) {
+  auto It = UnionPatterns.find(Alternatives);
+  if (It != UnionPatterns.end())
+    return It->second;
+
+  std::vector<std::vector<WordMask>> PerPhase(NumPhases);
+  for (unsigned Phase = 0; Phase < NumPhases; ++Phase) {
+    std::vector<WordMask> &Out = PerPhase[Phase];
+    for (OpId Op : Alternatives)
+      for (const WordMask &W : pattern(Op, Phase)) {
+        auto Pos =
+            std::find_if(Out.begin(), Out.end(), [&](const WordMask &M) {
+              return M.WordOffset == W.WordOffset;
+            });
+        if (Pos == Out.end())
+          Out.push_back(W);
+        else
+          Pos->Mask |= W.Mask;
+      }
+    std::sort(Out.begin(), Out.end(),
+              [](const WordMask &A, const WordMask &B) {
+                return A.WordOffset < B.WordOffset;
+              });
+  }
+  return UnionPatterns.emplace(Alternatives, std::move(PerPhase))
+      .first->second;
+}
+
+int BitvectorQueryModule::checkWithAlternatives(
+    const std::vector<OpId> &Alternatives, int Cycle) {
+  if (!Config.UnionAlternativeCheck || Alternatives.size() < 2)
+    return ContentionQueryModule::checkWithAlternatives(Alternatives, Cycle);
+  if (Config.Mode == QueryConfig::Modulo) {
+    // Self-conflicting alternatives would poison the union; keep the
+    // simple path when any alternative is infeasible at this II.
+    for (OpId Op : Alternatives)
+      if (SelfConflict[Op])
+        return ContentionQueryModule::checkWithAlternatives(Alternatives,
+                                                            Cycle);
+  }
+
+  // Union fast path: one pass over the OR of all alternatives' words. A
+  // clean union means every alternative fits; return the first.
+  ++Counters.CheckCalls;
+  size_t WordBase;
+  unsigned Phase;
+  locate(Cycle, WordBase, Phase);
+  bool Conflict = false;
+  for (const WordMask &W : unionPatternsFor(Alternatives)[Phase]) {
+    ++Counters.CheckUnits;
+    size_t Index = WordBase + static_cast<size_t>(W.WordOffset);
+    if (Index < Words.size() && (Words[Index] & W.Mask)) {
+      Conflict = true;
+      break;
+    }
+  }
+  if (!Conflict)
+    return 0;
+
+  // Some alternative conflicts; fall back to individual checks.
+  return ContentionQueryModule::checkWithAlternatives(Alternatives, Cycle);
+}
+
+void BitvectorQueryModule::reset() {
+  std::fill(Words.begin(), Words.end(), 0);
+  Owner.clear();
+  UpdateMode = false;
+  Instances.clear();
+  Counters.reset();
+}

@@ -1,0 +1,133 @@
+//===- query/BitvectorQuery.h - Packed bitvector reserved table -*- C++ -*-===//
+///
+/// \file
+/// The bitvector representation of Section 5/7: the reserved flags of each
+/// schedule cycle form a bitvector of NumResources bits, and k = WordBits /
+/// NumResources consecutive cycle-bitvectors are packed into one machine
+/// word. A contention check ANDs each nonempty word of the (pre-shifted)
+/// reservation table against the reserved table: contentions for k
+/// consecutive cycles are detected by one word operation, so one *work
+/// unit* is one word handled.
+///
+/// assign&free uses the paper's optimistic strategy: while no conflict has
+/// been seen, no per-resource owner fields are maintained and all functions
+/// run word-at-a-time (optimistic mode). The first conflicting placement
+/// pays a transition that rebuilds owner fields by scanning the scheduled
+/// instances; thereafter (update mode) assign&free iterates over resource
+/// usages to keep the fields current, as in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMD_QUERY_BITVECTORQUERY_H
+#define RMD_QUERY_BITVECTORQUERY_H
+
+#include "query/QueryModule.h"
+
+#include <map>
+#include <unordered_map>
+
+namespace rmd {
+
+/// Bitvector-representation contention query module.
+class BitvectorQueryModule : public ContentionQueryModule {
+public:
+  /// \p MD must be expanded with numResources() <= Config.WordBits. The
+  /// module keeps a reference to \p MD; it must outlive the module.
+  BitvectorQueryModule(const MachineDescription &MD, QueryConfig Config);
+
+  bool check(OpId Op, int Cycle) override;
+  void assign(OpId Op, int Cycle, InstanceId Instance) override;
+  void free(OpId Op, int Cycle, InstanceId Instance) override;
+  void assignAndFree(OpId Op, int Cycle, InstanceId Instance,
+                     std::vector<InstanceId> &Evicted) override;
+  void reset() override;
+
+  /// Union-mask fast path for alternatives: if the OR of all alternatives'
+  /// reservation words is contention-free, every alternative fits and the
+  /// first one is returned after testing only the union's words; otherwise
+  /// falls back to per-alternative checks. Semantically identical to the
+  /// base implementation.
+  int checkWithAlternatives(const std::vector<OpId> &Alternatives,
+                            int Cycle) override;
+
+  /// Cycle-bitvectors packed per word (the paper's k).
+  unsigned cyclesPerWordUsed() const { return K; }
+
+  /// True once the optimistic-to-update transition has happened.
+  bool inUpdateMode() const { return UpdateMode; }
+
+  /// Bytes of reserved-table words currently allocated (memory metric;
+  /// excludes owner fields, which exist only after a transition).
+  size_t reservedTableBytes() const { return Words.size() * sizeof(uint64_t); }
+
+private:
+  /// One nonempty word of a pre-shifted reservation table: the word offset
+  /// (relative to the issue cycle's word in linear mode, absolute in modulo
+  /// mode) and the resource-usage mask within it.
+  struct WordMask {
+    int WordOffset;
+    uint64_t Mask;
+  };
+
+  /// The pattern (word list) of \p Op when issued with cycle alignment
+  /// \p Phase (linear: issue cycle mod k; modulo: issue slot).
+  const std::vector<WordMask> &pattern(OpId Op, unsigned Phase) const {
+    return Patterns[Op * NumPhases + Phase];
+  }
+
+  void buildPatterns();
+  void ensureWords(size_t WordCount);
+
+  /// Splits a schedule cycle into (word base, phase).
+  void locate(int Cycle, size_t &WordBase, unsigned &Phase) const;
+
+  /// Cell-granular helpers for update mode. A cell is one (cycle slot,
+  /// resource) entry; AbsCycle is issue cycle + usage cycle.
+  size_t cycleSlot(int AbsCycle) const;
+  size_t cellIndex(size_t Slot, ResourceId R) const {
+    return Slot * NumResources + R;
+  }
+  void setBit(size_t Slot, ResourceId R);
+  void clearBit(size_t Slot, ResourceId R);
+  bool testBit(size_t Slot, ResourceId R) const;
+
+  /// Rebuilds the owner fields from the scheduled-instance list (the
+  /// optimistic-to-update transition); cost charged to TransitionUnits and
+  /// AssignFreeUnits.
+  void transitionToUpdateMode();
+
+  /// Releases every reservation of \p Instance cell-by-cell (eviction).
+  void evict(InstanceId Instance);
+
+  const MachineDescription &MD;
+  QueryConfig Config;
+  size_t NumResources;
+  unsigned K;
+  unsigned NumPhases;
+
+  std::vector<std::vector<WordMask>> Patterns;
+  std::vector<uint64_t> Words;
+
+  bool UpdateMode = false;
+  std::vector<InstanceId> Owner; // cellIndex -> instance (update mode only)
+
+  struct InstanceInfo {
+    OpId Op;
+    int Cycle;
+  };
+  std::unordered_map<InstanceId, InstanceInfo> Instances;
+
+  std::vector<uint8_t> SelfConflict; // modulo mode only
+
+  /// Cached union patterns per alternative group (keyed by the group's op
+  /// list), one word list per phase.
+  std::map<std::vector<OpId>, std::vector<std::vector<WordMask>>>
+      UnionPatterns;
+
+  const std::vector<std::vector<WordMask>> &
+  unionPatternsFor(const std::vector<OpId> &Alternatives);
+};
+
+} // namespace rmd
+
+#endif // RMD_QUERY_BITVECTORQUERY_H

@@ -1,0 +1,96 @@
+//===- query/PredicatedQuery.cpp ------------------------------------------===//
+
+#include "query/PredicatedQuery.h"
+
+#include <cassert>
+
+using namespace rmd;
+
+PredicatedQueryModule::PredicatedQueryModule(const MachineDescription &TheMD,
+                                             QueryConfig TheConfig)
+    : MD(TheMD), Config(TheConfig), NumResources(TheMD.numResources()) {
+  assert(MD.isExpanded() && "query module requires an expanded machine");
+  if (Config.Mode == QueryConfig::Modulo) {
+    assert(Config.ModuloII > 0 && "modulo mode requires a positive II");
+    ensureCycles(static_cast<size_t>(Config.ModuloII));
+  }
+}
+
+void PredicatedQueryModule::ensureCycles(size_t CycleCount) {
+  if (CycleCount <= NumSlots)
+    return;
+  size_t NewSlots = NumSlots == 0 ? CycleCount : NumSlots;
+  while (NewSlots < CycleCount)
+    NewSlots *= 2;
+  Cells.resize(NewSlots * NumResources);
+  NumSlots = NewSlots;
+}
+
+size_t PredicatedQueryModule::slotIndex(int Cycle, int UsageCycle) {
+  int Abs = Cycle + UsageCycle;
+  if (Config.Mode == QueryConfig::Modulo) {
+    int Slot = Abs % Config.ModuloII;
+    if (Slot < 0)
+      Slot += Config.ModuloII;
+    return static_cast<size_t>(Slot);
+  }
+  assert(Abs >= Config.MinCycle && "cycle below the linear window");
+  size_t Slot = static_cast<size_t>(Abs - Config.MinCycle);
+  ensureCycles(Slot + 1);
+  return Slot;
+}
+
+bool PredicatedQueryModule::check(OpId Op, int Cycle, PredicateId Pred) {
+  ++Counters.CheckCalls;
+  for (const ResourceUsage &U : MD.operation(Op).table().usages()) {
+    ++Counters.CheckUnits;
+    size_t Index = slotIndex(Cycle, U.Cycle) * NumResources + U.Resource;
+    for (const Entry &E : Cells[Index])
+      if (!predicatesDisjoint(E.Pred, Pred))
+        return false;
+  }
+  return true;
+}
+
+void PredicatedQueryModule::assign(OpId Op, int Cycle, PredicateId Pred,
+                                   InstanceId Instance) {
+  ++Counters.AssignCalls;
+  for (const ResourceUsage &U : MD.operation(Op).table().usages()) {
+    ++Counters.AssignUnits;
+    size_t Index = slotIndex(Cycle, U.Cycle) * NumResources + U.Resource;
+    for ([[maybe_unused]] const Entry &E : Cells[Index])
+      assert(predicatesDisjoint(E.Pred, Pred) &&
+             "assign over a non-disjoint reservation");
+    Cells[Index].push_back(Entry{Pred, Instance});
+  }
+  [[maybe_unused]] bool Inserted =
+      Instances.emplace(Instance, InstanceInfo{Op, Cycle}).second;
+  assert(Inserted && "instance id already scheduled");
+}
+
+void PredicatedQueryModule::free(OpId Op, int Cycle, InstanceId Instance) {
+  ++Counters.FreeCalls;
+  for (const ResourceUsage &U : MD.operation(Op).table().usages()) {
+    ++Counters.FreeUnits;
+    size_t Index = slotIndex(Cycle, U.Cycle) * NumResources + U.Resource;
+    auto &Cell = Cells[Index];
+    bool Found = false;
+    for (size_t I = 0; I < Cell.size(); ++I)
+      if (Cell[I].Instance == Instance) {
+        Cell.erase(Cell.begin() + static_cast<long>(I));
+        Found = true;
+        break;
+      }
+    assert(Found && "freeing an entry this instance does not hold");
+    (void)Found;
+  }
+  [[maybe_unused]] size_t Erased = Instances.erase(Instance);
+  assert(Erased == 1 && "freeing an unscheduled instance");
+}
+
+void PredicatedQueryModule::reset() {
+  for (auto &Cell : Cells)
+    Cell.clear();
+  Instances.clear();
+  Counters.reset();
+}

@@ -1,0 +1,89 @@
+//===- query/PredicatedQuery.h - Predicate-aware reserved table -*- C++ -*-===//
+///
+/// \file
+/// The discrete representation extended with a predicate field per
+/// reserved entry, as the paper's Section 5 describes for the Enhanced
+/// Modulo Scheduling scheme (Warter et al., MICRO-25): in IF-converted
+/// code, two operations guarded by *disjoint* predicates can never execute
+/// in the same iteration, so they may share resources cycle-for-cycle.
+///
+/// Predicates use a simple complementary-pair model sufficient for
+/// IF-conversion: predicate 0 is "always"; +k and -k are a complementary
+/// pair from the k-th compare. Two reservations may coexist in one cell
+/// iff their predicates are complementary (p == -q, p != 0). This is
+/// exactly the "additional field" cost the paper charges to the discrete
+/// representation: every function iterates over resource usages, and each
+/// cell may hold up to two owners.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMD_QUERY_PREDICATEDQUERY_H
+#define RMD_QUERY_PREDICATEDQUERY_H
+
+#include "query/QueryModule.h"
+
+#include <unordered_map>
+
+namespace rmd {
+
+/// Predicate handle: 0 = always executes; +k / -k are complementary.
+using PredicateId = int32_t;
+
+/// True if operations guarded by \p A and \p B can never both execute in
+/// one iteration.
+inline bool predicatesDisjoint(PredicateId A, PredicateId B) {
+  return A != 0 && A == -B;
+}
+
+/// Discrete reserved table with per-entry predicate fields. Not a
+/// ContentionQueryModule subclass: its query surface carries the predicate
+/// of the operation being placed.
+class PredicatedQueryModule {
+public:
+  /// \p MD must be expanded. Keeps a reference; \p MD must outlive this.
+  PredicatedQueryModule(const MachineDescription &MD, QueryConfig Config);
+
+  /// True if \p Op guarded by \p Pred fits at \p Cycle: every cell it
+  /// needs is empty or held only by reservations with disjoint predicates.
+  bool check(OpId Op, int Cycle, PredicateId Pred);
+
+  /// Reserves \p Op's resources under \p Pred (must be contention-free).
+  void assign(OpId Op, int Cycle, PredicateId Pred, InstanceId Instance);
+
+  /// Releases \p Instance's reservations.
+  void free(OpId Op, int Cycle, InstanceId Instance);
+
+  void reset();
+
+  WorkCounters &counters() { return Counters; }
+
+private:
+  size_t slotIndex(int Cycle, int UsageCycle);
+  void ensureCycles(size_t CycleCount);
+
+  struct Entry {
+    PredicateId Pred;
+    InstanceId Instance;
+  };
+
+  const MachineDescription &MD;
+  QueryConfig Config;
+  size_t NumResources;
+
+  /// Cells[slot * NumResources + r]: reservations sharing the cell (at
+  /// most 2, complementary).
+  std::vector<std::vector<Entry>> Cells;
+  size_t NumSlots = 0;
+
+  struct InstanceInfo {
+    OpId Op;
+    int Cycle;
+  };
+  std::unordered_map<InstanceId, InstanceInfo> Instances;
+
+  WorkCounters Counters;
+};
+
+} // namespace rmd
+
+#endif // RMD_QUERY_PREDICATEDQUERY_H

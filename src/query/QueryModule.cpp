@@ -1,0 +1,15 @@
+//===- query/QueryModule.cpp ----------------------------------------------===//
+
+#include "query/QueryModule.h"
+
+using namespace rmd;
+
+ContentionQueryModule::~ContentionQueryModule() = default;
+
+int ContentionQueryModule::checkWithAlternatives(
+    const std::vector<OpId> &Alternatives, int Cycle) {
+  for (size_t I = 0; I < Alternatives.size(); ++I)
+    if (check(Alternatives[I], Cycle))
+      return static_cast<int>(I);
+  return -1;
+}

@@ -1,0 +1,40 @@
+//===- reduce/ExactCover.h - Optimal usage-cover baseline ------*- C++ -*-===//
+///
+/// \file
+/// An exact (branch-and-bound) solver for the minimum-res-uses cover
+/// problem of Section 5. The paper remarks that "integer programming can
+/// solve these minimum cover problems" but uses a fast heuristic; this
+/// solver provides the optimality baseline the heuristic is measured
+/// against (see the selection_ablation benchmark). Practical only for
+/// small machines -- which is the point: the greedy heuristic gets within
+/// a few usages of optimal at a fraction of the cost.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMD_REDUCE_EXACTCOVER_H
+#define RMD_REDUCE_EXACTCOVER_H
+
+#include "reduce/Selection.h"
+
+#include <optional>
+
+namespace rmd {
+
+/// Result of the exact search.
+struct ExactCoverResult {
+  SelectionResult Selection;
+  /// Branch-and-bound nodes expanded.
+  uint64_t NodesExpanded = 0;
+};
+
+/// Finds a minimum-total-usage selection covering every canonical
+/// forbidden latency of \p FLM from the pruned generating set \p Pruned.
+/// Gives up (returns std::nullopt) after \p NodeBudget search nodes.
+std::optional<ExactCoverResult>
+selectCoverOptimal(const ForbiddenLatencyMatrix &FLM,
+                   const std::vector<SynthesizedResource> &Pruned,
+                   uint64_t NodeBudget = 2'000'000);
+
+} // namespace rmd
+
+#endif // RMD_REDUCE_EXACTCOVER_H

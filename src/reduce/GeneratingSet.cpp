@@ -1,0 +1,237 @@
+//===- reduce/GeneratingSet.cpp -------------------------------------------===//
+
+#include "reduce/GeneratingSet.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace rmd;
+
+std::vector<ElementaryPair>
+rmd::enumerateElementaryPairs(const ForbiddenLatencyMatrix &FLM) {
+  std::vector<ElementaryPair> Pairs;
+  size_t NumOps = FLM.numOperations();
+  // The paper's order (Figure 3): scan F(X, Y) row by row. A latency
+  // f >= 0 in F(X, Y) yields the pair {(X, 0), (Y, f)}: X using a resource
+  // at relative cycle 0 and Y at relative cycle f collide exactly when X
+  // issues f cycles after Y. Mirrored (negative) latencies are skipped:
+  // they are redundant with the positive entry of the transposed cell. A
+  // zero latency between distinct operations appears in both F(X, Y) and
+  // F(Y, X); keep only the X < Y instance. Zero self-latencies are handled
+  // by Rule 4.
+  for (OpId X = 0; X < NumOps; ++X)
+    for (OpId Y = 0; Y < NumOps; ++Y)
+      for (int F : FLM.get(X, Y)) {
+        if (F < 0)
+          continue;
+        if (F == 0 && (X == Y || X > Y))
+          continue;
+        Pairs.push_back(
+            ElementaryPair{SynthUsage{X, 0}, SynthUsage{Y, F}});
+      }
+  return Pairs;
+}
+
+namespace {
+
+/// O(1) forbidden-latency membership: a dense (op, op, latency) cube.
+/// Latency sets are bounded by the longest reservation table, so the cube
+/// stays small (NumOps^2 * (2*MaxLat+1) bytes).
+class DenseForbidden {
+public:
+  explicit DenseForbidden(const ForbiddenLatencyMatrix &FLM)
+      : NumOps(FLM.numOperations()), MaxLat(FLM.maxAbsoluteLatency()),
+        Width(2 * static_cast<size_t>(MaxLat) + 1),
+        Table(NumOps * NumOps * Width, 0) {
+    for (OpId X = 0; X < NumOps; ++X)
+      for (OpId Y = 0; Y < NumOps; ++Y)
+        for (int F : FLM.get(X, Y))
+          Table[index(X, Y, F)] = 1;
+  }
+
+  bool forbidden(OpId X, OpId Y, int F) const {
+    if (F < -MaxLat || F > MaxLat)
+      return false;
+    return Table[index(X, Y, F)] != 0;
+  }
+
+  /// Compatibility of usages (paper Section 4): co-locating A and B on one
+  /// resource must forbid an already-forbidden latency.
+  bool compatible(const SynthUsage &A, const SynthUsage &B) const {
+    return forbidden(A.Op, B.Op, B.Cycle - A.Cycle);
+  }
+
+private:
+  size_t index(OpId X, OpId Y, int F) const {
+    return (static_cast<size_t>(X) * NumOps + Y) * Width +
+           static_cast<size_t>(F + MaxLat);
+  }
+
+  size_t NumOps;
+  int MaxLat;
+  size_t Width;
+  std::vector<uint8_t> Table;
+};
+
+/// 64-bit membership signature of a usage set, for fast subset prefilters:
+/// U subset of V implies sig(U) & ~sig(V) == 0.
+uint64_t usageSignature(const std::vector<SynthUsage> &Usages) {
+  uint64_t Sig = 0;
+  for (const SynthUsage &U : Usages) {
+    uint64_t H = (static_cast<uint64_t>(U.Op) * 0x9e3779b97f4a7c15ull) ^
+                 (static_cast<uint64_t>(static_cast<uint32_t>(U.Cycle)) *
+                  0xbf58476d1ce4e5b9ull);
+    Sig |= 1ull << (H >> 58);
+  }
+  return Sig;
+}
+
+} // namespace
+
+std::vector<SynthesizedResource>
+rmd::buildGeneratingSet(const ForbiddenLatencyMatrix &FLM,
+                        const GeneratingSetTrace *Trace) {
+  DenseForbidden Dense(FLM);
+
+  std::vector<SynthesizedResource> Set;
+  std::vector<uint64_t> Sig; // usage-set signature per resource
+  // Usage sets already present, to suppress exact duplicates.
+  std::set<std::vector<SynthUsage>> Seen;
+
+  /// True if \p Usages (sorted) is a subset of some current resource.
+  /// Discarding subsets is safe: Theorem 1's reconstruction argument only
+  /// needs *some* resource containing the accumulated usages, and a
+  /// superset keeps accumulating whatever the subset would have.
+  auto subsumed = [&](const std::vector<SynthUsage> &Usages,
+                      uint64_t Signature) {
+    for (size_t I = 0; I < Set.size(); ++I) {
+      if ((Signature & ~Sig[I]) != 0)
+        continue;
+      if (std::includes(Set[I].usages().begin(), Set[I].usages().end(),
+                        Usages.begin(), Usages.end()))
+        return true;
+    }
+    return false;
+  };
+
+  auto addResource = [&](SynthesizedResource R) -> int {
+    uint64_t Signature = usageSignature(R.usages());
+    if (subsumed(R.usages(), Signature))
+      return -1;
+    if (!Seen.insert(R.usages()).second)
+      return -1;
+    Set.push_back(std::move(R));
+    Sig.push_back(Signature);
+    return static_cast<int>(Set.size() - 1);
+  };
+
+  std::vector<OpId> PairedOps(FLM.numOperations(), 0);
+
+  for (const ElementaryPair &P : enumerateElementaryPairs(FLM)) {
+    if (Trace && Trace->OnPair)
+      Trace->OnPair(P);
+    PairedOps[P.First.Op] = 1;
+    PairedOps[P.Second.Op] = 1;
+
+    bool PairTogether = false;
+    // Only resources that existed when this pair's processing started are
+    // considered; resources spawned by Rule 2 for this pair already contain
+    // it.
+    size_t End = Set.size();
+    for (size_t I = 0; I < End; ++I) {
+      SynthesizedResource &Q = Set[I];
+      std::vector<SynthUsage> Compatible;
+      bool Fully = true;
+      for (const SynthUsage &U : Q.usages()) {
+        if (Dense.compatible(U, P.First) && Dense.compatible(U, P.Second))
+          Compatible.push_back(U);
+        else
+          Fully = false;
+      }
+
+      if (Fully) {
+        // Rule 1: fully compatible; merge the pair into Q.
+        Seen.erase(Q.usages());
+        Q.insert(P.First);
+        Q.insert(P.Second);
+        Seen.insert(Q.usages());
+        Sig[I] = usageSignature(Q.usages());
+        PairTogether = true;
+        if (Trace && Trace->OnRule)
+          Trace->OnRule(GeneratingRule::Rule1, I);
+        continue;
+      }
+
+      // Rule 2: partially compatible; spawn pair + compatible subset of Q,
+      // unless that subset is empty (new resource would be the bare pair).
+      if (Compatible.empty()) {
+        if (Trace && Trace->OnRule)
+          Trace->OnRule(GeneratingRule::Rule2Discard, I);
+        continue;
+      }
+      Compatible.push_back(P.First);
+      Compatible.push_back(P.Second);
+      int NewIndex = addResource(SynthesizedResource(std::move(Compatible)));
+      PairTogether = true; // together in the new or in a subsuming resource
+      if (NewIndex >= 0 && Trace && Trace->OnRule)
+        Trace->OnRule(GeneratingRule::Rule2, static_cast<size_t>(NewIndex));
+    }
+
+    if (PairTogether)
+      continue;
+
+    // Rule 3: the pair's usages co-reside nowhere; add the pair itself.
+    int NewIndex = addResource(SynthesizedResource({P.First, P.Second}));
+    if (NewIndex >= 0 && Trace && Trace->OnRule)
+      Trace->OnRule(GeneratingRule::Rule3, static_cast<size_t>(NewIndex));
+  }
+
+  // Rule 4: operations whose only forbidden latency is the 0 self-latency
+  // appear in no elementary pair; they still need one single-usage resource.
+  for (OpId Op = 0; Op < FLM.numOperations(); ++Op) {
+    if (PairedOps[Op] || !FLM.isForbidden(Op, Op, 0))
+      continue;
+    int NewIndex = addResource(SynthesizedResource({SynthUsage{Op, 0}}));
+    if (NewIndex >= 0 && Trace && Trace->OnRule)
+      Trace->OnRule(GeneratingRule::Rule4, static_cast<size_t>(NewIndex));
+  }
+
+  return Set;
+}
+
+std::vector<SynthesizedResource>
+rmd::pruneGeneratingSet(std::vector<SynthesizedResource> Set) {
+  // Precompute generated latency sets; process small resources first so a
+  // submaximal resource is removed in favour of a larger one covering it.
+  std::vector<std::vector<ForbiddenLatency>> Generated;
+  Generated.reserve(Set.size());
+  for (const SynthesizedResource &R : Set)
+    Generated.push_back(R.generatedLatencies());
+
+  std::vector<size_t> Order(Set.size());
+  for (size_t I = 0; I < Order.size(); ++I)
+    Order[I] = I;
+  std::stable_sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    return Generated[A].size() < Generated[B].size();
+  });
+
+  std::vector<bool> Removed(Set.size(), false);
+  for (size_t I : Order) {
+    for (size_t J = 0; J < Set.size(); ++J) {
+      if (J == I || Removed[J])
+        continue;
+      if (Generated[J].size() >= Generated[I].size() &&
+          std::includes(Generated[J].begin(), Generated[J].end(),
+                        Generated[I].begin(), Generated[I].end())) {
+        Removed[I] = true;
+        break;
+      }
+    }
+  }
+
+  std::vector<SynthesizedResource> Pruned;
+  for (size_t I = 0; I < Set.size(); ++I)
+    if (!Removed[I])
+      Pruned.push_back(std::move(Set[I]));
+  return Pruned;
+}

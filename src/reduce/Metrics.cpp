@@ -1,0 +1,54 @@
+//===- reduce/Metrics.cpp -------------------------------------------------===//
+
+#include "reduce/Metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace rmd;
+
+unsigned rmd::cyclesPerWord(size_t NumResources, unsigned WordBits) {
+  assert(NumResources <= WordBits &&
+         "bitvector representation requires resources <= word bits");
+  if (NumResources == 0)
+    return WordBits;
+  return std::max(1u, WordBits / static_cast<unsigned>(NumResources));
+}
+
+double rmd::averageResUsesPerOperation(const MachineDescription &MD) {
+  if (MD.numOperations() == 0)
+    return 0;
+  size_t Total = 0;
+  for (const Operation &Op : MD.operations())
+    Total += Op.Alternatives.front().usageCount();
+  return static_cast<double>(Total) / static_cast<double>(MD.numOperations());
+}
+
+unsigned rmd::wordUsages(const ReservationTable &RT, unsigned CyclesPerWord,
+                         unsigned Alignment) {
+  assert(CyclesPerWord >= 1 && "cycles per word must be positive");
+  assert(Alignment < CyclesPerWord && "alignment out of range");
+  std::set<unsigned> Words;
+  for (const ResourceUsage &U : RT.usages())
+    Words.insert((static_cast<unsigned>(U.Cycle) + Alignment) / CyclesPerWord);
+  return static_cast<unsigned>(Words.size());
+}
+
+double rmd::averageWordUsesPerOperation(const MachineDescription &MD,
+                                        unsigned CyclesPerWord) {
+  if (MD.numOperations() == 0)
+    return 0;
+  double Total = 0;
+  for (const Operation &Op : MD.operations()) {
+    double PerOp = 0;
+    for (unsigned A = 0; A < CyclesPerWord; ++A)
+      PerOp += wordUsages(Op.Alternatives.front(), CyclesPerWord, A);
+    Total += PerOp / CyclesPerWord;
+  }
+  return Total / static_cast<double>(MD.numOperations());
+}
+
+size_t rmd::stateBitsPerCycle(const MachineDescription &MD) {
+  return MD.numResources();
+}

@@ -1,0 +1,44 @@
+//===- reduce/Metrics.h - Paper metrics for machine descriptions -*- C++ -*-===//
+///
+/// \file
+/// The three metrics the paper reports for every machine description
+/// (Tables 1-4): number of resources, average resource usages per
+/// operation, and average word usages per operation. Word usage is the
+/// number of nonempty groups of k consecutive cycles in an operation's
+/// reservation table, averaged over all operations and over all k possible
+/// alignments between the reserved table and the reservation table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMD_REDUCE_METRICS_H
+#define RMD_REDUCE_METRICS_H
+
+#include "mdesc/MachineDescription.h"
+
+namespace rmd {
+
+/// How many cycle-bitvectors fit in a \p WordBits-bit word for a machine
+/// with \p NumResources resources (at least 1; the paper's "1 cycle of 56
+/// bits per word" case). \p NumResources must not exceed \p WordBits.
+unsigned cyclesPerWord(size_t NumResources, unsigned WordBits);
+
+/// Average usage count per operation (first alternative) of \p MD.
+double averageResUsesPerOperation(const MachineDescription &MD);
+
+/// Word usages of one reservation table at one alignment: the number of
+/// distinct values floor((c + Alignment) / CyclesPerWord) over used cycles.
+unsigned wordUsages(const ReservationTable &RT, unsigned CyclesPerWord,
+                    unsigned Alignment);
+
+/// Average word usages per operation of \p MD, averaged over operations and
+/// over alignments 0..CyclesPerWord-1.
+double averageWordUsesPerOperation(const MachineDescription &MD,
+                                   unsigned CyclesPerWord);
+
+/// Bits of reserved-table state per schedule cycle (= number of resources);
+/// the paper's memory-footprint comparison (Section 6).
+size_t stateBitsPerCycle(const MachineDescription &MD);
+
+} // namespace rmd
+
+#endif // RMD_REDUCE_METRICS_H

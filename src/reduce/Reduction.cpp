@@ -1,0 +1,100 @@
+//===- reduce/Reduction.cpp -----------------------------------------------===//
+
+#include "reduce/Reduction.h"
+
+#include "reduce/Metrics.h"
+#include "support/FatalError.h"
+
+#include <algorithm>
+#include <limits>
+
+using namespace rmd;
+
+MachineDescription
+rmd::buildReducedDescription(const MachineDescription &MD,
+                             const std::vector<SynthesizedResource> &Pruned,
+                             const SelectionResult &Selection,
+                             const std::string &NameSuffix) {
+  assert(Selection.SelectedUsages.size() == Pruned.size() &&
+         "selection does not match pruned set");
+
+  MachineDescription Reduced(MD.name() + NameSuffix);
+
+  // Collect one reservation row per resource with selections; translate
+  // each row so its earliest selected usage is at cycle 0.
+  std::vector<std::vector<ResourceUsage>> PerOp(MD.numOperations());
+  unsigned NumRows = 0;
+  for (size_t R = 0; R < Pruned.size(); ++R) {
+    const auto &Usages = Selection.SelectedUsages[R];
+    if (Usages.empty())
+      continue;
+    int MinCycle = std::numeric_limits<int>::max();
+    for (const SynthUsage &U : Usages)
+      MinCycle = std::min(MinCycle, U.Cycle);
+    ResourceId Row = Reduced.addResource("q" + std::to_string(NumRows));
+    ++NumRows;
+    for (const SynthUsage &U : Usages)
+      PerOp[U.Op].push_back(ResourceUsage{Row, U.Cycle - MinCycle});
+  }
+
+  for (OpId Op = 0; Op < MD.numOperations(); ++Op)
+    Reduced.addOperation(MD.operation(Op).Name,
+                         ReservationTable(std::move(PerOp[Op])));
+  return Reduced;
+}
+
+bool rmd::verifyEquivalence(const MachineDescription &A,
+                            const MachineDescription &B) {
+  if (A.numOperations() != B.numOperations())
+    return false;
+  return ForbiddenLatencyMatrix::compute(A) ==
+         ForbiddenLatencyMatrix::compute(B);
+}
+
+ReductionResult rmd::reduceMachine(const MachineDescription &MD,
+                                   const ReductionOptions &Options) {
+  assert(MD.isExpanded() &&
+         "reduceMachine requires an expanded machine; call "
+         "expandAlternatives() first");
+
+  ForbiddenLatencyMatrix FLM = ForbiddenLatencyMatrix::compute(MD);
+
+  ReductionResult Result;
+  std::vector<SynthesizedResource> Generating =
+      buildGeneratingSet(FLM, Options.Trace);
+  Result.GeneratingSetSize = Generating.size();
+
+  std::vector<SynthesizedResource> Pruned =
+      pruneGeneratingSet(std::move(Generating));
+  Result.PrunedSetSize = Pruned.size();
+
+  SelectionResult Selection = selectCover(FLM, Pruned, Options.Objective);
+  Result.CoveredLatencies = FLM.canonicalCount();
+
+  std::string Suffix = Options.Objective.ObjectiveKind ==
+                               SelectionObjective::ResUses
+                           ? ".res-uses"
+                           : (".word" +
+                              std::to_string(Options.Objective.CyclesPerWord));
+  Result.Reduced = buildReducedDescription(MD, Pruned, Selection, Suffix);
+
+  if (Options.Objective.ObjectiveKind == SelectionObjective::WordUses) {
+    // The greedy word cover is a heuristic; occasionally the plain res-uses
+    // cover packs words better. Keep whichever measures better on the word
+    // objective (ties go to the word cover, which maximizes usages inside
+    // selected words for faster early-out).
+    SelectionResult ResSelection =
+        selectCover(FLM, Pruned, SelectionObjective::resUses());
+    MachineDescription ResReduced =
+        buildReducedDescription(MD, Pruned, ResSelection, Suffix);
+    unsigned K = Options.Objective.CyclesPerWord;
+    if (averageWordUsesPerOperation(ResReduced, K) <
+        averageWordUsesPerOperation(Result.Reduced, K))
+      Result.Reduced = std::move(ResReduced);
+  }
+
+  if (Options.Verify && !verifyEquivalence(MD, Result.Reduced))
+    fatalError("reduction failed to preserve the forbidden latency matrix; "
+               "this is a bug in the reducer");
+  return Result;
+}

@@ -1,0 +1,78 @@
+//===- reduce/Selection.h - Greedy cover of forbidden latencies -*- C++ -*-===//
+///
+/// \file
+/// Step 3 of the reduction (Section 5): from the pruned generating set,
+/// select a subset of resources and of their usages that covers every
+/// forbidden latency of the target machine, minimizing an objective chosen
+/// for the intended internal representation:
+///
+///   - res-uses: total number of selected resource usages (discrete
+///     representation; queries cost one unit per usage);
+///   - k-cycle-word uses: number of nonempty groups of k consecutive cycles
+///     in the reduced reservation tables (bitvector representation with k
+///     cycle-bitvectors packed per machine word), secondarily *maximizing*
+///     usages inside already-nonempty words for faster early-out.
+///
+/// The heuristic follows the paper: repeatedly pick an uncovered forbidden
+/// latency with the fewest generating usage pairs, then the usage pair that
+/// covers the most not-yet-covered latencies (ties: larger sum of newly
+/// covered latencies). In word mode, a pair creating fewer new nonempty
+/// words is preferred first, and after every selection all free usages
+/// (usages of selected resources falling into already-nonempty words of
+/// their operation's table) are selected too.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMD_REDUCE_SELECTION_H
+#define RMD_REDUCE_SELECTION_H
+
+#include "reduce/SynthesizedResource.h"
+
+#include <vector>
+
+namespace rmd {
+
+/// Objective function for the selection heuristic.
+struct SelectionObjective {
+  enum Kind {
+    /// Minimize total selected usages (discrete representation).
+    ResUses,
+    /// Minimize nonempty k-cycle word groups (bitvector representation).
+    WordUses,
+  };
+
+  Kind ObjectiveKind = ResUses;
+
+  /// Number of cycle-bitvectors packed per machine word (WordUses only).
+  unsigned CyclesPerWord = 1;
+
+  static SelectionObjective resUses() { return SelectionObjective{ResUses, 1}; }
+  static SelectionObjective wordUses(unsigned CyclesPerWord) {
+    return SelectionObjective{WordUses, CyclesPerWord};
+  }
+};
+
+/// The outcome of the greedy cover: per pruned resource, which usages were
+/// selected (empty vector = resource unused).
+struct SelectionResult {
+  /// SelectedUsages[r] lists the selected usages of pruned resource r.
+  std::vector<std::vector<SynthUsage>> SelectedUsages;
+
+  /// Number of resources with at least one selected usage.
+  size_t numSelectedResources() const;
+
+  /// Total selected usages.
+  size_t numSelectedUsages() const;
+};
+
+/// Runs the greedy cover over \p Pruned for \p FLM with \p Objective.
+/// Every canonical forbidden latency of \p FLM is guaranteed covered
+/// (asserted); Theorem 1 guarantees the pruned generating set can cover
+/// them all.
+SelectionResult selectCover(const ForbiddenLatencyMatrix &FLM,
+                            const std::vector<SynthesizedResource> &Pruned,
+                            const SelectionObjective &Objective);
+
+} // namespace rmd
+
+#endif // RMD_REDUCE_SELECTION_H

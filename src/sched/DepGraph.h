@@ -1,0 +1,97 @@
+//===- sched/DepGraph.h - Dependence graphs with loop carry ----*- C++ -*-===//
+///
+/// \file
+/// Dependence graphs for the scheduling experiments. Nodes are operation
+/// instances of one loop iteration (or one basic block); each node names an
+/// *original* (pre-expansion) operation of a machine, so a node with
+/// alternatives can be placed on any of them. Edges carry (Delay, Distance):
+/// the consumer must issue at least Delay cycles after the producer of
+/// Distance iterations earlier (Distance 0 = same iteration; acyclic graphs
+/// have all distances 0).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMD_SCHED_DEPGRAPH_H
+#define RMD_SCHED_DEPGRAPH_H
+
+#include "mdesc/MachineDescription.h"
+
+#include <string>
+#include <vector>
+
+namespace rmd {
+
+/// Node index within a DepGraph.
+using NodeId = uint32_t;
+
+/// A dependence: To must issue >= Delay cycles after From, Distance
+/// iterations apart.
+struct DepEdge {
+  NodeId From = 0;
+  NodeId To = 0;
+  int Delay = 0;
+  int Distance = 0;
+};
+
+/// A loop-iteration (or basic-block) dependence graph.
+class DepGraph {
+public:
+  DepGraph() = default;
+  explicit DepGraph(std::string Name) : Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+
+  /// Adds a node executing original-machine operation \p Op.
+  NodeId addNode(OpId Op, std::string NodeName = "");
+
+  /// Adds a dependence edge. \p Distance must be nonnegative; Delay may be
+  /// any integer (nonpositive delays model anti/output dependences).
+  void addEdge(NodeId From, NodeId To, int Delay, int Distance = 0);
+
+  size_t numNodes() const { return Ops.size(); }
+  size_t numEdges() const { return Edges.size(); }
+
+  OpId opOf(NodeId N) const {
+    assert(N < Ops.size() && "node out of range");
+    return Ops[N];
+  }
+  const std::string &nodeName(NodeId N) const {
+    assert(N < Names.size() && "node out of range");
+    return Names[N];
+  }
+
+  const std::vector<DepEdge> &edges() const { return Edges; }
+
+  /// Outgoing / incoming edge indices per node.
+  const std::vector<uint32_t> &succEdges(NodeId N) const {
+    assert(N < Succ.size() && "node out of range");
+    return Succ[N];
+  }
+  const std::vector<uint32_t> &predEdges(NodeId N) const {
+    assert(N < Pred.size() && "node out of range");
+    return Pred[N];
+  }
+
+  /// True if every edge distance is 0 and the graph is a DAG.
+  bool isAcyclic() const;
+
+  /// A topological order (valid only for acyclic graphs).
+  std::vector<NodeId> topologicalOrder() const;
+
+  /// True if the assignment \p Time (with initiation interval \p II, use
+  /// II = 0 for non-periodic schedules) satisfies every dependence.
+  bool scheduleRespectsDependences(const std::vector<int> &Time,
+                                   int II) const;
+
+private:
+  std::string Name;
+  std::vector<OpId> Ops;
+  std::vector<std::string> Names;
+  std::vector<DepEdge> Edges;
+  std::vector<std::vector<uint32_t>> Succ;
+  std::vector<std::vector<uint32_t>> Pred;
+};
+
+} // namespace rmd
+
+#endif // RMD_SCHED_DEPGRAPH_H

@@ -1,0 +1,65 @@
+//===- sched/Expansion.cpp ------------------------------------------------===//
+
+#include "sched/Expansion.h"
+
+#include "query/DiscreteQuery.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace rmd;
+
+std::vector<ExpandedIssue>
+rmd::expandPipelinedSchedule(const std::vector<int> &Time, int II,
+                             int Iterations) {
+  assert(II > 0 && Iterations >= 1 && "bad expansion parameters");
+  std::vector<ExpandedIssue> Issues;
+  Issues.reserve(Time.size() * static_cast<size_t>(Iterations));
+  for (int Iter = 0; Iter < Iterations; ++Iter)
+    for (NodeId N = 0; N < Time.size(); ++N)
+      Issues.push_back(
+          ExpandedIssue{N, Iter, Time[N] + Iter * II});
+  std::sort(Issues.begin(), Issues.end(),
+            [](const ExpandedIssue &A, const ExpandedIssue &B) {
+              if (A.Cycle != B.Cycle)
+                return A.Cycle < B.Cycle;
+              if (A.Iteration != B.Iteration)
+                return A.Iteration < B.Iteration;
+              return A.Node < B.Node;
+            });
+  return Issues;
+}
+
+bool rmd::verifyExpandedSchedule(const DepGraph &G,
+                                 const MachineDescription &FlatMD,
+                                 const std::vector<OpId> &ChosenOps,
+                                 const std::vector<int> &Time, int II,
+                                 int Iterations) {
+  std::vector<ExpandedIssue> Issues =
+      expandPipelinedSchedule(Time, II, Iterations);
+
+  // Resource side: place every copy in a plain linear reserved table.
+  DiscreteQueryModule Linear(FlatMD, QueryConfig::linear());
+  InstanceId Next = 0;
+  for (const ExpandedIssue &I : Issues) {
+    if (!Linear.check(ChosenOps[I.Node], I.Cycle))
+      return false;
+    Linear.assign(ChosenOps[I.Node], I.Cycle, Next++);
+  }
+
+  // Dependence side: every edge, between every pair of iteration copies
+  // it connects. Consumers of iteration i depend on producers of
+  // iteration i - Distance (skipping copies before iteration 0: those
+  // values come from loop-invariant preheader code).
+  for (const DepEdge &E : G.edges())
+    for (int Iter = 0; Iter < Iterations; ++Iter) {
+      int ProducerIter = Iter - E.Distance;
+      if (ProducerIter < 0)
+        continue;
+      int ProducerCycle = Time[E.From] + ProducerIter * II;
+      int ConsumerCycle = Time[E.To] + Iter * II;
+      if (ConsumerCycle < ProducerCycle + E.Delay)
+        return false;
+    }
+  return true;
+}

@@ -1,0 +1,50 @@
+//===- sched/Expansion.h - Unrolling modulo schedules ----------*- C++ -*-===//
+///
+/// \file
+/// Expands a modulo schedule into the flat schedule of n overlapped
+/// iterations (prologue + steady-state kernel + epilogue) and verifies the
+/// expansion against a *linear* reserved table: every iteration copy is
+/// placed individually and must be contention-free, and every dependence
+/// (including loop-carried ones) must hold between the copies.
+///
+/// This ties the Modulo Reservation Table abstraction back to what the
+/// hardware actually executes -- the strongest end-to-end check that the
+/// modulo addressing, the scheduler, and the descriptions agree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMD_SCHED_EXPANSION_H
+#define RMD_SCHED_EXPANSION_H
+
+#include "query/QueryModule.h"
+#include "sched/DepGraph.h"
+
+#include <vector>
+
+namespace rmd {
+
+/// One operation instance of the expanded schedule.
+struct ExpandedIssue {
+  NodeId Node = 0;
+  int Iteration = 0;
+  int Cycle = 0; ///< absolute cycle: Time[Node] + Iteration * II
+};
+
+/// Expands (\p Time, \p II) over \p Iterations iterations, sorted by cycle
+/// (ties by iteration then node).
+std::vector<ExpandedIssue> expandPipelinedSchedule(
+    const std::vector<int> &Time, int II, int Iterations);
+
+/// Verifies the expansion of (\p G, \p ChosenOps, \p Time, \p II) over
+/// \p Iterations iterations on a fresh linear reserved table over
+/// \p FlatMD: all placements contention-free and all dependences satisfied
+/// across iteration copies. Returns true on success.
+bool verifyExpandedSchedule(const DepGraph &G,
+                            const MachineDescription &FlatMD,
+                            const std::vector<OpId> &ChosenOps,
+                            const std::vector<int> &Time, int II,
+                            int Iterations);
+
+} // namespace rmd
+
+#endif // RMD_SCHED_EXPANSION_H

@@ -1,0 +1,194 @@
+//===- sched/GraphIO.cpp --------------------------------------------------===//
+
+#include "sched/GraphIO.h"
+
+#include "mdl/Lexer.h"
+
+#include <map>
+
+using namespace rmd;
+
+namespace {
+
+class GraphParser {
+public:
+  GraphParser(std::string_view Input, const MachineModel &Model,
+              DiagnosticEngine &Diags)
+      : Lex(Input, Diags), Model(Model), Diags(Diags) {}
+
+  std::optional<DepGraph> parse() {
+    if (!expectKeyword("loop"))
+      return std::nullopt;
+    Token Name = Lex.take();
+    if (!Name.is(TokenKind::Identifier)) {
+      Diags.error(Name.Loc, "expected loop name");
+      return std::nullopt;
+    }
+    G = DepGraph(Name.Text);
+
+    if (!expect(TokenKind::LBrace, "'{'"))
+      return std::nullopt;
+    while (!Lex.peek().is(TokenKind::RBrace)) {
+      if (Lex.peek().is(TokenKind::EndOfFile)) {
+        Diags.error(Lex.location(), "unexpected end of file in loop body");
+        return std::nullopt;
+      }
+      bool Ok = Lex.peek().isKeyword("edge") ? parseEdge() : parseNode();
+      if (!Ok)
+        return std::nullopt;
+    }
+    Lex.take(); // '}'
+    if (!Lex.peek().is(TokenKind::EndOfFile)) {
+      Diags.error(Lex.location(), "trailing input after loop body");
+      return std::nullopt;
+    }
+    if (G.numNodes() == 0) {
+      Diags.error({}, "loop has no operations");
+      return std::nullopt;
+    }
+    return std::move(G);
+  }
+
+private:
+  bool expect(TokenKind Kind, const char *What) {
+    Token T = Lex.take();
+    if (T.is(Kind))
+      return true;
+    Diags.error(T.Loc, std::string("expected ") + What);
+    return false;
+  }
+
+  bool expectKeyword(const char *KW) {
+    Token T = Lex.take();
+    if (T.isKeyword(KW))
+      return true;
+    Diags.error(T.Loc, std::string("expected '") + KW + "'");
+    return false;
+  }
+
+  bool parseNode() {
+    Token Name = Lex.take();
+    if (!Name.is(TokenKind::Identifier)) {
+      Diags.error(Name.Loc, "expected node name or 'edge'");
+      return false;
+    }
+    if (Nodes.count(Name.Text)) {
+      Diags.error(Name.Loc, "duplicate node '" + Name.Text + "'");
+      return false;
+    }
+    if (!expect(TokenKind::Colon, "':'"))
+      return false;
+    Token OpName = Lex.take();
+    if (!OpName.is(TokenKind::Identifier)) {
+      Diags.error(OpName.Loc, "expected operation name");
+      return false;
+    }
+    OpId Op = Model.MD.findOperation(OpName.Text);
+    if (Op == Model.MD.numOperations()) {
+      Diags.error(OpName.Loc, "machine '" + Model.MD.name() +
+                                  "' has no operation '" + OpName.Text +
+                                  "'");
+      return false;
+    }
+    Nodes[Name.Text] = G.addNode(Op, Name.Text);
+    return expect(TokenKind::Semicolon, "';'");
+  }
+
+  bool parseEdge() {
+    Lex.take(); // 'edge'
+    NodeId From, To;
+    if (!parseNodeRef(From))
+      return false;
+    if (!expect(TokenKind::Arrow, "'->'"))
+      return false;
+    if (!parseNodeRef(To))
+      return false;
+
+    int Delay = Model.Latency[G.opOf(From)];
+    int Distance = 0;
+    while (!Lex.peek().is(TokenKind::Semicolon)) {
+      if (Lex.peek().isKeyword("delay")) {
+        Lex.take();
+        if (!parseInt(Delay))
+          return false;
+      } else if (Lex.peek().isKeyword("distance")) {
+        Lex.take();
+        if (!parseInt(Distance))
+          return false;
+        if (Distance < 0) {
+          Diags.error(Lex.location(), "negative dependence distance");
+          return false;
+        }
+      } else {
+        Diags.error(Lex.location(), "expected 'delay', 'distance' or ';'");
+        return false;
+      }
+    }
+    Lex.take(); // ';'
+    G.addEdge(From, To, Delay, Distance);
+    return true;
+  }
+
+  bool parseNodeRef(NodeId &Out) {
+    Token Name = Lex.take();
+    if (!Name.is(TokenKind::Identifier)) {
+      Diags.error(Name.Loc, "expected node name");
+      return false;
+    }
+    auto It = Nodes.find(Name.Text);
+    if (It == Nodes.end()) {
+      Diags.error(Name.Loc, "unknown node '" + Name.Text +
+                                "' (nodes must be declared before edges "
+                                "that use them)");
+      return false;
+    }
+    Out = It->second;
+    return true;
+  }
+
+  bool parseInt(int &Out) {
+    Token T = Lex.take();
+    if (!T.is(TokenKind::Integer)) {
+      Diags.error(T.Loc, "expected integer");
+      return false;
+    }
+    Out = static_cast<int>(T.Value);
+    return true;
+  }
+
+  Lexer Lex;
+  const MachineModel &Model;
+  DiagnosticEngine &Diags;
+  DepGraph G;
+  std::map<std::string, NodeId> Nodes;
+};
+
+} // namespace
+
+std::optional<DepGraph> rmd::parseLoopGraph(std::string_view Input,
+                                            const MachineModel &Model,
+                                            DiagnosticEngine &Diags) {
+  GraphParser P(Input, Model, Diags);
+  std::optional<DepGraph> Result = P.parse();
+  if (Diags.hasErrors())
+    return std::nullopt;
+  return Result;
+}
+
+std::string rmd::writeLoopGraph(const DepGraph &G,
+                                const MachineModel &Model) {
+  std::string Out = "loop " + (G.name().empty() ? "anon" : G.name()) +
+                    " {\n";
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    Out += "  " + G.nodeName(N) + ": " +
+           Model.MD.operation(G.opOf(N)).Name + ";\n";
+  for (const DepEdge &E : G.edges()) {
+    Out += "  edge " + G.nodeName(E.From) + " -> " + G.nodeName(E.To) +
+           " delay " + std::to_string(E.Delay);
+    if (E.Distance != 0)
+      Out += " distance " + std::to_string(E.Distance);
+    Out += ";\n";
+  }
+  Out += "}\n";
+  return Out;
+}

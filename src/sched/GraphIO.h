@@ -1,0 +1,54 @@
+//===- sched/GraphIO.h - Loop dependence graphs as text --------*- C++ -*-===//
+///
+/// \file
+/// A small text format for loop bodies, so the schedulers can be driven on
+/// user-written loops from the command line (the imsched tool). Nodes name
+/// operations of a machine description; edges carry (delay, distance).
+/// Omitting an edge's delay uses the producer's `latency` annotation from
+/// the bound MachineModel.
+///
+/// \code
+///   loop tridiag {
+///     ld_z: load;
+///     ld_y: load;
+///     sub:  fadd.s;
+///     mul:  fmul.s;
+///     st:   store;
+///     br:   brtop;
+///     edge ld_y -> sub;
+///     edge mul  -> sub distance 1;   # x[i-1] from the previous iteration
+///     edge ld_z -> mul;
+///     edge sub  -> mul;
+///     edge mul  -> st;
+///     edge st   -> br delay 0;
+///   }
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMD_SCHED_GRAPHIO_H
+#define RMD_SCHED_GRAPHIO_H
+
+#include "machines/MachineModel.h"
+#include "sched/DepGraph.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rmd {
+
+/// Parses a loop graph over \p Model's *original* operation names. Edge
+/// delays default to the producer's latency; `delay N` overrides and
+/// `distance D` marks loop-carried dependences. Node order follows the
+/// file. Errors go to \p Diags.
+std::optional<DepGraph> parseLoopGraph(std::string_view Input,
+                                       const MachineModel &Model,
+                                       DiagnosticEngine &Diags);
+
+/// Renders \p G back into the text format (delays always explicit).
+std::string writeLoopGraph(const DepGraph &G, const MachineModel &Model);
+
+} // namespace rmd
+
+#endif // RMD_SCHED_GRAPHIO_H

@@ -1,0 +1,268 @@
+//===- sched/IterativeModuloScheduler.cpp ---------------------------------===//
+
+#include "sched/IterativeModuloScheduler.h"
+
+#include "query/DiscreteQuery.h" // hasModuloSelfConflict
+#include "sched/MII.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace rmd;
+
+namespace {
+
+/// Per-attempt scheduling state.
+struct AttemptState {
+  std::vector<bool> Scheduled;
+  std::vector<bool> EverScheduled;
+  std::vector<int> Time;
+  std::vector<int> Alternative;
+  std::vector<int> PrevTime;
+  std::vector<uint32_t> ForcedCount;
+};
+
+/// Height-based priority at a given II: HeightR(v) = max over edges v->s of
+/// HeightR(s) + Delay - II*Distance, computed by relaxation (converges for
+/// II >= RecMII, where no positive cycle exists).
+std::vector<long long> computeHeights(const DepGraph &G, int II) {
+  std::vector<long long> Height(G.numNodes(), 0);
+  for (size_t Pass = 0; Pass <= G.numNodes() + 1; ++Pass) {
+    bool Changed = false;
+    for (const DepEdge &E : G.edges()) {
+      long long Candidate =
+          Height[E.To] + E.Delay - static_cast<long long>(II) * E.Distance;
+      if (Candidate > Height[E.From]) {
+        Height[E.From] = Candidate;
+        Changed = true;
+      }
+    }
+    if (!Changed)
+      break;
+  }
+  return Height;
+}
+
+/// The selected priority values; larger schedules earlier.
+std::vector<long long> computePriorities(const DepGraph &G, int II,
+                                         SchedulePriority Kind) {
+  switch (Kind) {
+  case SchedulePriority::Height:
+    return computeHeights(G, II);
+  case SchedulePriority::Depth: {
+    // Longest path from the iteration start (forward relaxation).
+    std::vector<long long> Depth(G.numNodes(), 0);
+    for (size_t Pass = 0; Pass <= G.numNodes() + 1; ++Pass) {
+      bool Changed = false;
+      for (const DepEdge &E : G.edges()) {
+        long long Candidate =
+            Depth[E.From] + E.Delay - static_cast<long long>(II) * E.Distance;
+        if (Candidate > Depth[E.To]) {
+          Depth[E.To] = Candidate;
+          Changed = true;
+        }
+      }
+      if (!Changed)
+        break;
+    }
+    return Depth;
+  }
+  case SchedulePriority::SourceOrder: {
+    std::vector<long long> Priority(G.numNodes());
+    for (NodeId N = 0; N < G.numNodes(); ++N)
+      Priority[N] = static_cast<long long>(G.numNodes() - N);
+    return Priority;
+  }
+  }
+  return std::vector<long long>(G.numNodes(), 0);
+}
+
+} // namespace
+
+/// One II attempt; returns true on a complete schedule within budget.
+static bool attemptSchedule(const DepGraph &G, const QueryEnvironment &Env,
+                            int II, uint64_t Budget, SchedulePriority Kind,
+                            AttemptState &S, ModuloScheduleStats &Stats,
+                            uint64_t &DecisionsThisAttempt,
+                            WorkCounters &Accum) {
+  const auto &Groups = *Env.Groups;
+  const MachineDescription &Flat = *Env.FlatMD;
+  size_t N = G.numNodes();
+
+  // Alternatives that collide with their own modulo copies at this II can
+  // never be placed; if some node has no feasible alternative, the attempt
+  // fails immediately (the scheduler must raise the II).
+  std::vector<std::vector<uint8_t>> AltFeasible(N);
+  for (NodeId V = 0; V < N; ++V) {
+    bool Any = false;
+    const std::vector<OpId> &Alts = Groups[G.opOf(V)];
+    AltFeasible[V].resize(Alts.size());
+    for (size_t A = 0; A < Alts.size(); ++A) {
+      bool Ok =
+          !hasModuloSelfConflict(Flat.operation(Alts[A]).table(), II);
+      AltFeasible[V][A] = Ok;
+      Any |= Ok;
+    }
+    if (!Any)
+      return false;
+  }
+
+  std::unique_ptr<ContentionQueryModule> Module =
+      Env.MakeModule(QueryConfig::modulo(II));
+  std::vector<long long> Height = computePriorities(G, II, Kind);
+
+  S.Scheduled.assign(N, false);
+  S.EverScheduled.assign(N, false);
+  S.Time.assign(N, 0);
+  S.Alternative.assign(N, -1);
+  S.PrevTime.assign(N, 0);
+  S.ForcedCount.assign(N, 0);
+
+  DecisionsThisAttempt = 0;
+  size_t NumScheduled = 0;
+
+  while (NumScheduled < N) {
+    if (DecisionsThisAttempt >= Budget) {
+      Accum.accumulate(Module->counters());
+      return false;
+    }
+
+    // Highest-priority unscheduled operation (ties: lowest id).
+    NodeId V = static_cast<NodeId>(N);
+    for (NodeId U = 0; U < N; ++U)
+      if (!S.Scheduled[U] && (V == N || Height[U] > Height[V]))
+        V = U;
+    assert(V < N && "no unscheduled node despite NumScheduled < N");
+
+    // Earliest start from currently scheduled predecessors.
+    int Estart = 0;
+    for (uint32_t EIdx : G.predEdges(V)) {
+      const DepEdge &E = G.edges()[EIdx];
+      if (E.From != V && S.Scheduled[E.From])
+        Estart = std::max(Estart,
+                          S.Time[E.From] + E.Delay - II * E.Distance);
+    }
+
+    const std::vector<OpId> &Alts = Groups[G.opOf(V)];
+    uint64_t ChecksBefore = Module->counters().CheckCalls;
+
+    // Scan one II window for a contention-free slot.
+    int Slot = -1;
+    int Alt = -1;
+    for (int T = Estart; T < Estart + II && Slot < 0; ++T) {
+      int Found = Module->checkWithAlternatives(Alts, T);
+      if (Found >= 0) {
+        Slot = T;
+        Alt = Found;
+      }
+    }
+
+    if (Slot >= 0) {
+      // The IMS schedules through assign&free even for conflict-free slots
+      // (Section 8: the benchmark issues no plain assign calls); eviction
+      // cannot happen here since check() just succeeded.
+      std::vector<InstanceId> Evicted;
+      Module->assignAndFree(Alts[Alt], Slot, static_cast<InstanceId>(V),
+                            Evicted);
+      assert(Evicted.empty() && "eviction on a checked-free slot");
+    } else {
+      // Forced placement (Rau): at Estart, or just past the previous
+      // placement when re-scheduling at the same spot.
+      Slot = (!S.EverScheduled[V] || Estart > S.PrevTime[V])
+                 ? Estart
+                 : S.PrevTime[V] + 1;
+      // Rotate through the II-feasible alternatives.
+      unsigned Tried = 0;
+      do {
+        Alt = static_cast<int>(S.ForcedCount[V]++ % Alts.size());
+        ++Tried;
+      } while (!AltFeasible[V][Alt] && Tried <= Alts.size());
+      assert(AltFeasible[V][Alt] && "no feasible alternative survived");
+
+      std::vector<InstanceId> Evicted;
+      Module->assignAndFree(Alts[Alt], Slot, static_cast<InstanceId>(V),
+                            Evicted);
+      if (!Evicted.empty())
+        ++Stats.AssignFreeCallsWithEviction;
+      for (InstanceId Victim : Evicted) {
+        assert(Victim >= 0 && static_cast<size_t>(Victim) < N &&
+               S.Scheduled[Victim] && "evicted an unknown instance");
+        S.Scheduled[Victim] = false;
+        --NumScheduled;
+        ++Stats.EvictedByResource;
+        Stats.UsedAssignFreeEviction = true;
+      }
+    }
+
+    S.Time[V] = Slot;
+    S.Alternative[V] = Alt;
+    S.PrevTime[V] = Slot;
+    S.EverScheduled[V] = true;
+    S.Scheduled[V] = true;
+    ++NumScheduled;
+    ++DecisionsThisAttempt;
+    Stats.ChecksPerDecision.push_back(static_cast<uint32_t>(
+        Module->counters().CheckCalls - ChecksBefore));
+
+    // Unschedule operations whose dependences the new placement violates.
+    auto unschedule = [&](NodeId Q) {
+      Module->free(Groups[G.opOf(Q)][S.Alternative[Q]], S.Time[Q],
+                   static_cast<InstanceId>(Q));
+      S.Scheduled[Q] = false;
+      --NumScheduled;
+      ++Stats.EvictedByDependence;
+    };
+    for (uint32_t EIdx : G.succEdges(V)) {
+      const DepEdge &E = G.edges()[EIdx];
+      if (E.To != V && S.Scheduled[E.To] &&
+          S.Time[E.To] < Slot + E.Delay - II * E.Distance)
+        unschedule(E.To);
+    }
+    for (uint32_t EIdx : G.predEdges(V)) {
+      const DepEdge &E = G.edges()[EIdx];
+      if (E.From != V && S.Scheduled[E.From] &&
+          Slot < S.Time[E.From] + E.Delay - II * E.Distance)
+        unschedule(E.From);
+    }
+  }
+
+  Accum.accumulate(Module->counters());
+  return true;
+}
+
+ModuloScheduleResult
+rmd::moduloSchedule(const DepGraph &G, const MachineDescription &MD,
+                    const QueryEnvironment &Env,
+                    const ModuloScheduleOptions &Options) {
+  assert(Env.FlatMD && Env.Groups && Env.MakeModule &&
+         "incomplete query environment");
+  assert(G.numNodes() > 0 && "cannot schedule an empty graph");
+
+  ModuloScheduleResult Result;
+  Result.Stats.ResMII = computeResMII(MD, G);
+  Result.Stats.RecMII = computeRecMII(G);
+  Result.Stats.MII = std::max(Result.Stats.ResMII, Result.Stats.RecMII);
+
+  int MaxII = Options.MaxII > 0 ? Options.MaxII : Result.Stats.MII + 128;
+  uint64_t Budget =
+      static_cast<uint64_t>(Options.BudgetRatio) * G.numNodes();
+
+  AttemptState S;
+  for (int II = Result.Stats.MII; II <= MaxII; ++II) {
+    uint64_t Decisions = 0;
+    bool Ok = attemptSchedule(G, Env, II, Budget, Options.Priority, S,
+                              Result.Stats, Decisions, Result.Counters);
+    Result.Stats.DecisionsPerAttempt.push_back(Decisions);
+    if (Ok) {
+      Result.Success = true;
+      Result.II = II;
+      Result.Stats.II = II;
+      Result.Time = S.Time;
+      Result.Alternative = S.Alternative;
+      assert(G.scheduleRespectsDependences(Result.Time, II) &&
+             "IMS produced a dependence-violating schedule");
+      return Result;
+    }
+  }
+  return Result;
+}

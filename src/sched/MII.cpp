@@ -1,0 +1,83 @@
+//===- sched/MII.cpp ------------------------------------------------------===//
+
+#include "sched/MII.h"
+
+#include "support/FatalError.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+using namespace rmd;
+
+int rmd::computeResMII(const MachineDescription &MD, const DepGraph &G) {
+  // Fractional per-resource load: an operation with A alternatives
+  // contributes 1/A of each alternative's usages.
+  std::vector<double> Load(MD.numResources(), 0.0);
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    const Operation &Op = MD.operation(G.opOf(N));
+    double Share = 1.0 / static_cast<double>(Op.Alternatives.size());
+    for (const ReservationTable &RT : Op.Alternatives)
+      for (const ResourceUsage &U : RT.usages())
+        Load[U.Resource] += Share;
+  }
+  double MaxLoad = 0;
+  for (double L : Load)
+    MaxLoad = std::max(MaxLoad, L);
+  return std::max(1, static_cast<int>(std::ceil(MaxLoad - 1e-9)));
+}
+
+/// True if some dependence cycle of \p G has positive total weight under
+/// (Delay - II * Distance): i.e. II is infeasible for the recurrences.
+static bool hasPositiveCycle(const DepGraph &G, int II) {
+  // Bellman-Ford longest-path relaxation from all nodes simultaneously
+  // (distance 0 start); a relaxation succeeding on pass N implies a
+  // positive cycle.
+  size_t N = G.numNodes();
+  std::vector<long long> Dist(N, 0);
+  for (size_t Pass = 0; Pass <= N; ++Pass) {
+    bool Changed = false;
+    for (const DepEdge &E : G.edges()) {
+      long long W = E.Delay - static_cast<long long>(II) * E.Distance;
+      if (Dist[E.From] + W > Dist[E.To]) {
+        Dist[E.To] = Dist[E.From] + W;
+        Changed = true;
+      }
+    }
+    if (!Changed)
+      return false;
+  }
+  return true;
+}
+
+int rmd::computeRecMII(const DepGraph &G) {
+  bool HasCarried = false;
+  int MaxDelaySum = 1;
+  for (const DepEdge &E : G.edges()) {
+    HasCarried |= E.Distance > 0;
+    MaxDelaySum += std::max(0, E.Delay);
+  }
+  if (!HasCarried)
+    return 1;
+
+  // Feasibility is monotone in II; binary search the smallest feasible II.
+  // A graph with a positive-delay cycle at distance 0 has no feasible II at
+  // all (it is not a valid loop body).
+  int Lo = 1, Hi = MaxDelaySum;
+  if (hasPositiveCycle(G, Hi))
+    fatalError("dependence graph has a zero-distance positive-delay cycle; "
+               "no initiation interval is feasible");
+  while (Lo < Hi) {
+    int Mid = Lo + (Hi - Lo) / 2;
+    if (hasPositiveCycle(G, Mid))
+      Lo = Mid + 1;
+    else
+      Hi = Mid;
+  }
+  return Lo;
+}
+
+int rmd::computeMII(const MachineDescription &MD, const DepGraph &G) {
+  return std::max(computeResMII(MD, G), computeRecMII(G));
+}

@@ -1,0 +1,35 @@
+//===- sched/MII.h - Minimum initiation interval bounds --------*- C++ -*-===//
+///
+/// \file
+/// The two classical lower bounds on the initiation interval of a modulo
+/// schedule (Rau '94): the resource-constrained bound ResMII and the
+/// recurrence-constrained bound RecMII. MII = max(ResMII, RecMII); Table
+/// 5's II/MII column measures schedule quality against this bound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMD_SCHED_MII_H
+#define RMD_SCHED_MII_H
+
+#include "mdesc/MachineDescription.h"
+#include "sched/DepGraph.h"
+
+namespace rmd {
+
+/// Resource-constrained minimum II: each unit-capacity resource used a
+/// total of U cycles per iteration needs II >= U. Operations with
+/// alternatives spread their load evenly over the alternatives (a standard
+/// fractional lower bound; exact binding is the scheduler's job).
+int computeResMII(const MachineDescription &MD, const DepGraph &G);
+
+/// Recurrence-constrained minimum II: the smallest II such that no
+/// dependence cycle has positive total (Delay - II * Distance). Returns 1
+/// for acyclic graphs.
+int computeRecMII(const DepGraph &G);
+
+/// max(ResMII, RecMII), and at least 1.
+int computeMII(const MachineDescription &MD, const DepGraph &G);
+
+} // namespace rmd
+
+#endif // RMD_SCHED_MII_H

@@ -1,0 +1,86 @@
+//===- sched/OperationDrivenScheduler.h - Critical-path-first --*- C++ -*-===//
+///
+/// \file
+/// An operation-driven basic-block scheduler in the style the paper's
+/// introduction cites for the Cydra 5 compiler: operations are considered
+/// in *priority* order (critical path first), not in cycle order, and each
+/// is placed at the best cycle inside its dependence window -- which may
+/// be earlier than cycles already filled. This is exactly the unrestricted
+/// placement pattern that reservation-table query modules support natively
+/// and cycle-ordered approaches cannot express.
+///
+/// Placement backtracks: when an operation's window [Estart, Lstart] has
+/// no free slot, it is force-placed via assign&free, evicting whichever
+/// lower-priority operations held the resources; evicted operations are
+/// re-queued (each at most MaxEvictions times, after which the forced op
+/// takes the first conflict-free cycle past its window instead).
+///
+/// Also supports basic-block boundary conditions: predecessor residue is
+/// seeded as dangling reservations, and the result reports this block's
+/// own dangling operations so a caller can chain blocks
+/// (scheduleBlockSequence).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMD_SCHED_OPERATIONDRIVENSCHEDULER_H
+#define RMD_SCHED_OPERATIONDRIVENSCHEDULER_H
+
+#include "query/QueryModule.h"
+#include "sched/DepGraph.h"
+#include "sched/ListScheduler.h" // DanglingOp
+
+#include <functional>
+#include <memory>
+
+namespace rmd {
+
+/// Tuning knobs.
+struct OperationDrivenOptions {
+  /// How many times one operation may be evicted before its next placement
+  /// refuses to evict others.
+  unsigned MaxEvictions = 4;
+};
+
+/// Result of operation-driven scheduling.
+struct OperationDrivenResult {
+  bool Success = false;
+  std::vector<int> Time;
+  std::vector<int> Alternative;
+  int Length = 0; ///< one past the last issue cycle
+
+  /// Operations whose reservations extend past Length: the residue a
+  /// successor block must respect (flat op + issue cycle relative to the
+  /// *successor's* entry, i.e. negative).
+  std::vector<DanglingOp> Dangling;
+
+  /// Scheduling decisions performed (placements, including re-placements).
+  uint64_t Decisions = 0;
+};
+
+/// Schedules the acyclic \p G on \p Module, critical-path-first with
+/// bounded eviction. \p Groups maps original ops to flat alternatives.
+/// \p Dangling seeds predecessor residue (requires a module window
+/// admitting their negative cycles).
+OperationDrivenResult
+operationDrivenSchedule(const DepGraph &G,
+                        const std::vector<std::vector<OpId>> &Groups,
+                        const MachineDescription &FlatMD,
+                        ContentionQueryModule &Module,
+                        const std::vector<DanglingOp> &Dangling = {},
+                        const OperationDrivenOptions &Options = {});
+
+/// Schedules a straight-line sequence of blocks, propagating each block's
+/// dangling resource requirements into the next (Section 1's boundary
+/// conditions). \p MakeModule builds a fresh linear-mode module per block;
+/// its window must admit cycles down to -maxTableLength. Returns one
+/// result per block; Success is false if any block fails.
+std::vector<OperationDrivenResult> scheduleBlockSequence(
+    const std::vector<const DepGraph *> &Blocks,
+    const std::vector<std::vector<OpId>> &Groups,
+    const MachineDescription &FlatMD,
+    const std::function<std::unique_ptr<ContentionQueryModule>()> &MakeModule,
+    const OperationDrivenOptions &Options = {});
+
+} // namespace rmd
+
+#endif // RMD_SCHED_OPERATIONDRIVENSCHEDULER_H

@@ -1,0 +1,82 @@
+//===- sched/ScheduleRender.cpp -------------------------------------------===//
+
+#include "sched/ScheduleRender.h"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+
+using namespace rmd;
+
+std::vector<OpId>
+rmd::chosenFlatOps(const DepGraph &G,
+                   const std::vector<std::vector<OpId>> &Groups,
+                   const std::vector<int> &Alternative) {
+  assert(Alternative.size() == G.numNodes() && "alternative size mismatch");
+  std::vector<OpId> Ops;
+  Ops.reserve(G.numNodes());
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    assert(Alternative[N] >= 0 && "node has no chosen alternative");
+    Ops.push_back(Groups[G.opOf(N)][static_cast<size_t>(Alternative[N])]);
+  }
+  return Ops;
+}
+
+void rmd::renderIssueOrder(std::ostream &OS, const DepGraph &G,
+                           const MachineDescription &FlatMD,
+                           const std::vector<OpId> &ChosenOps,
+                           const std::vector<int> &Time) {
+  std::vector<NodeId> Order(G.numNodes());
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    Order[N] = N;
+  std::stable_sort(Order.begin(), Order.end(), [&](NodeId A, NodeId B) {
+    return Time[A] < Time[B];
+  });
+  for (NodeId N : Order)
+    OS << "  t=" << Time[N] << "  " << G.nodeName(N) << " ("
+       << FlatMD.operation(ChosenOps[N]).Name << ")\n";
+}
+
+KernelInfo rmd::analyzeKernel(const std::vector<int> &Time, int II) {
+  assert(II > 0 && "kernel analysis needs a positive II");
+  KernelInfo Info;
+  Info.II = II;
+  if (Time.empty())
+    return Info;
+
+  int MaxTime = 0;
+  std::vector<int> SlotWidth(static_cast<size_t>(II), 0);
+  for (int T : Time) {
+    assert(T >= 0 && "modulo schedules are nonnegative");
+    MaxTime = std::max(MaxTime, T);
+    ++SlotWidth[static_cast<size_t>(T % II)];
+  }
+  Info.Stages = MaxTime / II + 1;
+  Info.PrologueCycles = (Info.Stages - 1) * II;
+  for (int W : SlotWidth) {
+    Info.OccupiedSlots += W > 0;
+    Info.MaxSlotWidth = std::max(Info.MaxSlotWidth, W);
+  }
+  return Info;
+}
+
+void rmd::renderKernel(std::ostream &OS, const DepGraph &G,
+                       const MachineDescription &FlatMD,
+                       const std::vector<OpId> &ChosenOps,
+                       const std::vector<int> &Time, int II) {
+  assert(II > 0 && "kernel rendering needs a positive II");
+  for (int Slot = 0; Slot < II; ++Slot) {
+    OS << "  slot " << Slot << ":";
+    bool Any = false;
+    for (NodeId N = 0; N < G.numNodes(); ++N) {
+      if (Time[N] % II != Slot)
+        continue;
+      OS << (Any ? ", " : " ") << FlatMD.operation(ChosenOps[N]).Name
+         << "[stage " << Time[N] / II << "]";
+      Any = true;
+    }
+    if (!Any)
+      OS << " (empty)";
+    OS << "\n";
+  }
+}

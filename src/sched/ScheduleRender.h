@@ -1,0 +1,65 @@
+//===- sched/ScheduleRender.h - Schedule pretty-printing -------*- C++ -*-===//
+///
+/// \file
+/// Human-readable renderings of schedules: the flat issue listing, and the
+/// kernel view of a modulo schedule -- one row per MRT slot, showing which
+/// operations (of which overlapped iterations) issue there. The same view
+/// the Cydra/IMPACT papers print when discussing software-pipelined
+/// kernels.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMD_SCHED_SCHEDULERENDER_H
+#define RMD_SCHED_SCHEDULERENDER_H
+
+#include "mdesc/MachineDescription.h"
+#include "sched/DepGraph.h"
+
+#include <iosfwd>
+#include <vector>
+
+namespace rmd {
+
+/// Prints "t=<cycle>  <node-name> (<op-name>)" lines in issue order.
+/// \p OpNames resolves each node's chosen flat operation.
+void renderIssueOrder(std::ostream &OS, const DepGraph &G,
+                      const MachineDescription &FlatMD,
+                      const std::vector<OpId> &ChosenOps,
+                      const std::vector<int> &Time);
+
+/// Prints the kernel of a modulo schedule: for each MRT slot s in [0, II),
+/// every operation issued at a cycle congruent to s, annotated with its
+/// stage (floor(t / II)) -- the software-pipeline overlap depth.
+void renderKernel(std::ostream &OS, const DepGraph &G,
+                  const MachineDescription &FlatMD,
+                  const std::vector<OpId> &ChosenOps,
+                  const std::vector<int> &Time, int II);
+
+/// Resolves each node's chosen flat operation from the groups mapping and
+/// per-node alternative indices.
+std::vector<OpId>
+chosenFlatOps(const DepGraph &G,
+              const std::vector<std::vector<OpId>> &Groups,
+              const std::vector<int> &Alternative);
+
+/// Pipeline shape of a modulo schedule.
+struct KernelInfo {
+  int II = 0;
+  /// Number of kernel stages = ceil(span / II): how many iterations
+  /// overlap in steady state.
+  int Stages = 0;
+  /// Cycles of ramp-up before the first full kernel iteration completes
+  /// ((Stages - 1) * II).
+  int PrologueCycles = 0;
+  /// Kernel slots with at least one operation.
+  int OccupiedSlots = 0;
+  /// Largest number of operations issued in one kernel slot.
+  int MaxSlotWidth = 0;
+};
+
+/// Analyzes the modulo schedule (\p Time, \p II).
+KernelInfo analyzeKernel(const std::vector<int> &Time, int II);
+
+} // namespace rmd
+
+#endif // RMD_SCHED_SCHEDULERENDER_H

@@ -1,0 +1,41 @@
+//===- support/Diagnostics.cpp --------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <ostream>
+
+using namespace rmd;
+
+void DiagnosticEngine::report(DiagSeverity Severity, SourceLocation Loc,
+                              std::string Message) {
+  if (Severity == DiagSeverity::Error)
+    ++NumErrors;
+  Diags.push_back(Diagnostic{Severity, Loc, std::move(Message)});
+}
+
+static const char *severityName(DiagSeverity Severity) {
+  switch (Severity) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+void DiagnosticEngine::print(std::ostream &OS,
+                             const std::string &InputName) const {
+  for (const Diagnostic &D : Diags) {
+    OS << InputName;
+    if (D.Loc.isValid())
+      OS << ':' << D.Loc.Line << ':' << D.Loc.Column;
+    OS << ": " << severityName(D.Severity) << ": " << D.Message << '\n';
+  }
+}
+
+void DiagnosticEngine::clear() {
+  Diags.clear();
+  NumErrors = 0;
+}

@@ -1,0 +1,91 @@
+//===- support/Diagnostics.h - Source-located diagnostics ------*- C++ -*-===//
+//
+// Part of the rmd project: a reproduction of Eichenberger & Davidson,
+// "A Reduced Multipipeline Machine Description that Preserves Scheduling
+// Constraints", PLDI 1996.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source-located diagnostics for the machine description language parser
+/// and other user-input-facing components. The library itself never throws;
+/// recoverable errors are reported through a DiagnosticEngine and signalled
+/// by std::optional returns.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMD_SUPPORT_DIAGNOSTICS_H
+#define RMD_SUPPORT_DIAGNOSTICS_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rmd {
+
+/// A 1-based line/column position inside an input buffer. Line 0 denotes an
+/// unknown location (e.g. diagnostics about the description as a whole).
+struct SourceLocation {
+  unsigned Line = 0;
+  unsigned Column = 0;
+
+  bool isValid() const { return Line != 0; }
+
+  friend bool operator==(const SourceLocation &A, const SourceLocation &B) {
+    return A.Line == B.Line && A.Column == B.Column;
+  }
+};
+
+/// Severity of a diagnostic. Errors make the producing operation fail;
+/// warnings and notes are informational.
+enum class DiagSeverity { Note, Warning, Error };
+
+/// A single diagnostic message attached to a source location.
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  SourceLocation Loc;
+  std::string Message;
+};
+
+/// Collects diagnostics produced while processing one input. A
+/// DiagnosticEngine is cheap to construct; callers inspect hasErrors() after
+/// a fallible operation and may render the collected messages with print().
+class DiagnosticEngine {
+public:
+  /// Appends a diagnostic with severity \p Severity at \p Loc.
+  void report(DiagSeverity Severity, SourceLocation Loc, std::string Message);
+
+  /// Appends an error diagnostic at \p Loc.
+  void error(SourceLocation Loc, std::string Message) {
+    report(DiagSeverity::Error, Loc, std::move(Message));
+  }
+
+  /// Appends a warning diagnostic at \p Loc.
+  void warning(SourceLocation Loc, std::string Message) {
+    report(DiagSeverity::Warning, Loc, std::move(Message));
+  }
+
+  /// Appends a note diagnostic at \p Loc.
+  void note(SourceLocation Loc, std::string Message) {
+    report(DiagSeverity::Note, Loc, std::move(Message));
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders every collected diagnostic to \p OS, one per line, in the
+  /// conventional "<name>:<line>:<col>: <severity>: <message>" format.
+  void print(std::ostream &OS, const std::string &InputName = "<input>") const;
+
+  /// Drops all collected diagnostics and resets the error count.
+  void clear();
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace rmd
+
+#endif // RMD_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,26 @@
+//===- support/FatalError.h - Unconditional invariant failures -*- C++ -*-===//
+///
+/// \file
+/// fatalError() reports a broken internal invariant and aborts, in release
+/// builds as well as debug builds. Used where silently continuing would
+/// produce wrong schedules (e.g. a reduction that failed verification).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMD_SUPPORT_FATALERROR_H
+#define RMD_SUPPORT_FATALERROR_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rmd {
+
+/// Prints \p Message to stderr and aborts.
+[[noreturn]] inline void fatalError(const char *Message) {
+  std::fprintf(stderr, "rmd fatal error: %s\n", Message);
+  std::abort();
+}
+
+} // namespace rmd
+
+#endif // RMD_SUPPORT_FATALERROR_H

@@ -1,0 +1,69 @@
+//===- support/OnlineStats.h - Streaming summary statistics ----*- C++ -*-===//
+///
+/// \file
+/// Streaming min/avg/max accumulators used to report paper-style table rows
+/// (e.g. Table 5's "min | % at min | avg | max" columns).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMD_SUPPORT_ONLINESTATS_H
+#define RMD_SUPPORT_ONLINESTATS_H
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <limits>
+
+namespace rmd {
+
+/// Accumulates count/sum/min/max of a stream of doubles, plus the fraction of
+/// samples equal to the stream's minimum (Table 5 reports "% at min").
+class OnlineStats {
+public:
+  void add(double Value) {
+    ++Count;
+    Sum += Value;
+    if (Value < Min) {
+      Min = Value;
+      AtMin = 1;
+    } else if (Value == Min) {
+      ++AtMin;
+    }
+    Max = std::max(Max, Value);
+  }
+
+  uint64_t count() const { return Count; }
+  double sum() const { return Sum; }
+
+  double mean() const {
+    assert(Count > 0 && "mean of empty stream");
+    return Sum / static_cast<double>(Count);
+  }
+
+  double min() const {
+    assert(Count > 0 && "min of empty stream");
+    return Min;
+  }
+
+  double max() const {
+    assert(Count > 0 && "max of empty stream");
+    return Max;
+  }
+
+  /// Fraction of samples equal to the minimum, in [0, 1].
+  double fractionAtMin() const {
+    assert(Count > 0 && "fractionAtMin of empty stream");
+    return static_cast<double>(AtMin) / static_cast<double>(Count);
+  }
+
+private:
+  uint64_t Count = 0;
+  uint64_t AtMin = 0;
+  double Sum = 0;
+  double Min = std::numeric_limits<double>::infinity();
+  double Max = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace rmd
+
+#endif // RMD_SUPPORT_ONLINESTATS_H

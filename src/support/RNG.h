@@ -1,0 +1,85 @@
+//===- support/RNG.h - Deterministic pseudo-random numbers -----*- C++ -*-===//
+///
+/// \file
+/// A small deterministic random number generator (SplitMix64) used by the
+/// workload generator and the property-based tests. Determinism matters:
+/// every randomized experiment in the benchmark harness is reproducible from
+/// its seed, so paper-style tables are stable across runs and machines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMD_SUPPORT_RNG_H
+#define RMD_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rmd {
+
+/// SplitMix64: a tiny, fast, high-quality 64-bit PRNG with a one-word state.
+/// Not cryptographic; perfectly adequate for workload synthesis.
+class RNG {
+public:
+  explicit RNG(uint64_t Seed = 0x9e3779b97f4a7c15ull) : State(Seed) {}
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a uniform integer in [0, Bound). \p Bound must be positive.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "nextBelow requires a positive bound");
+    // Multiply-shift rejection-free mapping; bias is negligible for the
+    // small bounds used here.
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(next()) * Bound) >> 64);
+  }
+
+  /// Returns a uniform integer in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(
+                    nextBelow(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Returns true with probability \p Num / \p Den.
+  bool nextChance(uint64_t Num, uint64_t Den) {
+    assert(Den > 0 && "zero denominator");
+    return nextBelow(Den) < Num;
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Picks an index according to the (unnormalized, nonnegative) \p Weights.
+  /// At least one weight must be positive.
+  size_t nextWeighted(const std::vector<double> &Weights) {
+    double Total = 0;
+    for (double W : Weights)
+      Total += W;
+    assert(Total > 0 && "all weights are zero");
+    double R = nextDouble() * Total;
+    for (size_t I = 0; I + 1 < Weights.size(); ++I) {
+      R -= Weights[I];
+      if (R < 0)
+        return I;
+    }
+    return Weights.size() - 1;
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace rmd
+
+#endif // RMD_SUPPORT_RNG_H

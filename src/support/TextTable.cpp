@@ -1,0 +1,66 @@
+//===- support/TextTable.cpp ----------------------------------------------===//
+
+#include "support/TextTable.h"
+
+#include <cassert>
+#include <cstdio>
+#include <ostream>
+
+using namespace rmd;
+
+std::string rmd::formatFixed(double Value, int Decimals) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", Decimals, Value);
+  return Buffer;
+}
+
+void TextTable::row() { Rows.emplace_back(); }
+
+void TextTable::cell(std::string Text) {
+  assert(!Rows.empty() && "cell() before row()");
+  Rows.back().push_back(std::move(Text));
+}
+
+void TextTable::cell(double Value, int Decimals) {
+  cell(formatFixed(Value, Decimals));
+}
+
+void TextTable::cellInt(long long Value) { cell(std::to_string(Value)); }
+
+void TextTable::print(std::ostream &OS) const {
+  std::vector<size_t> Widths;
+  for (const auto &Row : Rows) {
+    if (Row.size() > Widths.size())
+      Widths.resize(Row.size(), 0);
+    for (size_t I = 0; I < Row.size(); ++I)
+      if (Row[I].size() > Widths[I])
+        Widths[I] = Row[I].size();
+  }
+
+  auto printRow = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Row.size(); ++I) {
+      if (I != 0)
+        OS << "  ";
+      // Left-align the first column (row labels), right-align the rest.
+      size_t Pad = Widths[I] - Row[I].size();
+      if (I == 0) {
+        OS << Row[I] << std::string(Pad, ' ');
+      } else {
+        OS << std::string(Pad, ' ') << Row[I];
+      }
+    }
+    OS << '\n';
+  };
+
+  for (size_t R = 0; R < Rows.size(); ++R) {
+    printRow(Rows[R]);
+    if (R == 0) {
+      size_t Total = 0;
+      for (size_t W : Widths)
+        Total += W;
+      if (!Widths.empty())
+        Total += 2 * (Widths.size() - 1);
+      OS << std::string(Total, '-') << '\n';
+    }
+  }
+}

@@ -1,0 +1,48 @@
+//===- support/TextTable.h - Aligned ASCII table rendering -----*- C++ -*-===//
+///
+/// \file
+/// A small aligned-column ASCII table renderer. The benchmark harness prints
+/// every reproduced paper table through this class so all experiment output
+/// has one consistent format.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMD_SUPPORT_TEXTTABLE_H
+#define RMD_SUPPORT_TEXTTABLE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rmd {
+
+/// Collects rows of string cells and renders them with columns padded to the
+/// widest cell. The first row added is treated as the header and separated
+/// from the body by a rule.
+class TextTable {
+public:
+  /// Starts a new row; subsequent cell() calls append to it.
+  void row();
+
+  /// Appends a cell to the current row.
+  void cell(std::string Text);
+
+  /// Appends a numeric cell formatted with \p Decimals fraction digits.
+  void cell(double Value, int Decimals);
+
+  /// Appends an integral cell.
+  void cellInt(long long Value);
+
+  /// Renders the table to \p OS. Columns are right-aligned except the first.
+  void print(std::ostream &OS) const;
+
+private:
+  std::vector<std::vector<std::string>> Rows;
+};
+
+/// Formats \p Value with \p Decimals fraction digits ("%.*f").
+std::string formatFixed(double Value, int Decimals);
+
+} // namespace rmd
+
+#endif // RMD_SUPPORT_TEXTTABLE_H

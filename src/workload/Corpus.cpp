@@ -1,0 +1,28 @@
+//===- workload/Corpus.cpp ------------------------------------------------===//
+
+#include "workload/Corpus.h"
+
+using namespace rmd;
+
+std::vector<DepGraph> rmd::buildCorpus(const MachineModel &Model,
+                                       const CorpusParams &Params) {
+  RNG R(Params.Seed);
+  std::vector<RoleGraph> Kernels = livermoreKernels();
+
+  std::vector<DepGraph> Corpus;
+  Corpus.reserve(Params.LoopCount);
+  for (size_t I = 0; I < Params.LoopCount; ++I) {
+    if (R.nextChance(Params.KernelPercent, 100)) {
+      const RoleGraph &K = Kernels[R.nextBelow(Kernels.size())];
+      // Size variants: mostly the plain kernel, sometimes unrolled 2-8x.
+      unsigned Copies = 1;
+      if (R.nextChance(1, 3))
+        Copies = 2 + static_cast<unsigned>(R.nextBelow(7));
+      Corpus.push_back(
+          bind(Copies == 1 ? K : replicate(K, Copies), Model));
+    } else {
+      Corpus.push_back(bind(generateLoop(R, Params.Generator), Model));
+    }
+  }
+  return Corpus;
+}

@@ -1,0 +1,35 @@
+//===- workload/Corpus.h - The 1327-loop benchmark corpus ------*- C++ -*-===//
+///
+/// \file
+/// Builds the loop corpus standing in for the paper's benchmark of 1327
+/// loops from the Perfect Club, SPEC-89 and the Livermore Fortran Kernels:
+/// the hand-modelled kernels (with replicated/unrolled size variants) mixed
+/// with seeded random loops. Fully deterministic from the seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMD_WORKLOAD_CORPUS_H
+#define RMD_WORKLOAD_CORPUS_H
+
+#include "workload/Kernels.h"
+#include "workload/LoopGenerator.h"
+
+namespace rmd {
+
+/// Parameters of corpus construction.
+struct CorpusParams {
+  size_t LoopCount = 1327;
+  uint64_t Seed = 0x1327;
+  /// Percent of loops drawn from the kernel suite (possibly replicated);
+  /// the rest come from the random generator.
+  unsigned KernelPercent = 40;
+  LoopGeneratorParams Generator;
+};
+
+/// Builds the corpus bound to \p Model.
+std::vector<DepGraph> buildCorpus(const MachineModel &Model,
+                                  const CorpusParams &Params = {});
+
+} // namespace rmd
+
+#endif // RMD_WORKLOAD_CORPUS_H

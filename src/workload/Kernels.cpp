@@ -1,0 +1,631 @@
+//===- workload/Kernels.cpp -----------------------------------------------===//
+
+#include "workload/Kernels.h"
+
+using namespace rmd;
+
+namespace {
+
+/// LFK1 (hydro fragment): x[k] = q + y[k]*(r*z[k+10] + t*z[k+11]).
+RoleGraph hydro() {
+  RoleGraph G;
+  G.Name = "hydro";
+  uint32_t Ay = G.addNode(OpRole::AddrCalc);
+  uint32_t Ly = G.addNode(OpRole::Load);
+  uint32_t Lz1 = G.addNode(OpRole::Load);
+  uint32_t Lz2 = G.addNode(OpRole::Load);
+  uint32_t M1 = G.addNode(OpRole::FloatMul); // r*z[k+10]
+  uint32_t M2 = G.addNode(OpRole::FloatMul); // t*z[k+11]
+  uint32_t A1 = G.addNode(OpRole::FloatAdd);
+  uint32_t M3 = G.addNode(OpRole::FloatMul); // y[k]*...
+  uint32_t A2 = G.addNode(OpRole::FloatAdd); // q + ...
+  uint32_t St = G.addNode(OpRole::Store);
+  uint32_t Br = G.addNode(OpRole::Branch);
+  G.dataDep(Ay, Ly);
+  G.dataDep(Lz1, M1);
+  G.dataDep(Lz2, M2);
+  G.dataDep(M1, A1);
+  G.dataDep(M2, A1);
+  G.dataDep(Ly, M3);
+  G.dataDep(A1, M3);
+  G.dataDep(M3, A2);
+  G.dataDep(A2, St);
+  G.orderDep(St, Br, 0);
+  return G;
+}
+
+/// LFK3 (inner product): q += z[k]*x[k] -- a multiply feeding a reduction
+/// recurrence.
+RoleGraph innerProduct() {
+  RoleGraph G;
+  G.Name = "inner_product";
+  uint32_t Lz = G.addNode(OpRole::Load);
+  uint32_t Lx = G.addNode(OpRole::Load);
+  uint32_t M = G.addNode(OpRole::FloatMul);
+  uint32_t A = G.addNode(OpRole::FloatAdd);
+  uint32_t Br = G.addNode(OpRole::Branch);
+  G.dataDep(Lz, M);
+  G.dataDep(Lx, M);
+  G.dataDep(M, A);
+  G.dataDep(A, A, 1); // reduction: q of the previous iteration
+  G.orderDep(A, Br, 0);
+  return G;
+}
+
+/// LFK5 (tri-diagonal elimination): x[i] = z[i]*(y[i] - x[i-1]).
+RoleGraph tridiag() {
+  RoleGraph G;
+  G.Name = "tridiag";
+  uint32_t Lz = G.addNode(OpRole::Load);
+  uint32_t Ly = G.addNode(OpRole::Load);
+  uint32_t Sub = G.addNode(OpRole::FloatAdd);
+  uint32_t M = G.addNode(OpRole::FloatMul);
+  uint32_t St = G.addNode(OpRole::Store);
+  uint32_t Br = G.addNode(OpRole::Branch);
+  G.dataDep(Ly, Sub);
+  G.dataDep(M, Sub, 1); // x[i-1] from the previous iteration
+  G.dataDep(Lz, M);
+  G.dataDep(Sub, M);
+  G.dataDep(M, St);
+  G.orderDep(St, Br, 0);
+  return G;
+}
+
+/// LFK7 (equation of state fragment): a long expression tree of adds and
+/// multiplies over several loads.
+RoleGraph eos() {
+  RoleGraph G;
+  G.Name = "state_eq";
+  uint32_t Lu = G.addNode(OpRole::Load);
+  uint32_t Lz = G.addNode(OpRole::Load);
+  uint32_t Ly = G.addNode(OpRole::Load);
+  uint32_t Lu1 = G.addNode(OpRole::Load);
+  uint32_t Lu2 = G.addNode(OpRole::Load);
+  uint32_t Lu3 = G.addNode(OpRole::Load);
+  uint32_t M1 = G.addNode(OpRole::FloatMul);
+  uint32_t M2 = G.addNode(OpRole::FloatMul);
+  uint32_t A1 = G.addNode(OpRole::FloatAdd);
+  uint32_t M3 = G.addNode(OpRole::FloatMul);
+  uint32_t A2 = G.addNode(OpRole::FloatAdd);
+  uint32_t M4 = G.addNode(OpRole::FloatMul);
+  uint32_t A3 = G.addNode(OpRole::FloatAdd);
+  uint32_t M5 = G.addNode(OpRole::FloatMul);
+  uint32_t A4 = G.addNode(OpRole::FloatAdd);
+  uint32_t St = G.addNode(OpRole::Store);
+  uint32_t Br = G.addNode(OpRole::Branch);
+  G.dataDep(Lu1, M1);
+  G.dataDep(Lz, M1);
+  G.dataDep(Lu2, M2);
+  G.dataDep(Ly, M2);
+  G.dataDep(M1, A1);
+  G.dataDep(M2, A1);
+  G.dataDep(A1, M3);
+  G.dataDep(Lu, M3);
+  G.dataDep(M3, A2);
+  G.dataDep(Lu3, A2);
+  G.dataDep(A2, M4);
+  G.dataDep(M4, A3);
+  G.dataDep(Lu, A3);
+  G.dataDep(A3, M5);
+  G.dataDep(M5, A4);
+  G.dataDep(A4, St);
+  G.orderDep(St, Br, 0);
+  return G;
+}
+
+/// LFK11 (first sum): x[k] = x[k-1] + y[k] -- the tightest FP recurrence.
+RoleGraph firstSum() {
+  RoleGraph G;
+  G.Name = "first_sum";
+  uint32_t Ly = G.addNode(OpRole::Load);
+  uint32_t A = G.addNode(OpRole::FloatAdd);
+  uint32_t St = G.addNode(OpRole::Store);
+  uint32_t Br = G.addNode(OpRole::Branch);
+  G.dataDep(Ly, A);
+  G.dataDep(A, A, 1);
+  G.dataDep(A, St);
+  G.orderDep(St, Br, 0);
+  return G;
+}
+
+/// LFK12 (first difference): x[k] = y[k+1] - y[k] -- fully parallel.
+RoleGraph firstDiff() {
+  RoleGraph G;
+  G.Name = "first_diff";
+  uint32_t L1 = G.addNode(OpRole::Load);
+  uint32_t L2 = G.addNode(OpRole::Load);
+  uint32_t Sub = G.addNode(OpRole::FloatAdd);
+  uint32_t St = G.addNode(OpRole::Store);
+  uint32_t Br = G.addNode(OpRole::Branch);
+  G.dataDep(L1, Sub);
+  G.dataDep(L2, Sub);
+  G.dataDep(Sub, St);
+  G.orderDep(St, Br, 0);
+  return G;
+}
+
+/// DAXPY: y[i] += a*x[i], the SPEC/Linpack workhorse.
+RoleGraph daxpy() {
+  RoleGraph G;
+  G.Name = "daxpy";
+  uint32_t Lx = G.addNode(OpRole::Load);
+  uint32_t Ly = G.addNode(OpRole::Load);
+  uint32_t M = G.addNode(OpRole::FloatMul);
+  uint32_t A = G.addNode(OpRole::FloatAdd);
+  uint32_t St = G.addNode(OpRole::Store);
+  uint32_t Br = G.addNode(OpRole::Branch);
+  G.dataDep(Lx, M);
+  G.dataDep(M, A);
+  G.dataDep(Ly, A);
+  G.dataDep(A, St);
+  // The store of iteration i must precede the load of iteration i+1 when
+  // x and y may alias (output kept conservative, distance 1, delay 1).
+  G.orderDep(St, Ly, 1, 1);
+  G.orderDep(St, Br, 0);
+  return G;
+}
+
+/// A 5-point stencil row update: integer address arithmetic plus FP.
+RoleGraph stencil5() {
+  RoleGraph G;
+  G.Name = "stencil5";
+  uint32_t Ai = G.addNode(OpRole::AddrCalc);
+  uint32_t L0 = G.addNode(OpRole::Load);
+  uint32_t L1 = G.addNode(OpRole::Load);
+  uint32_t L2 = G.addNode(OpRole::Load);
+  uint32_t L3 = G.addNode(OpRole::Load);
+  uint32_t L4 = G.addNode(OpRole::Load);
+  uint32_t A1 = G.addNode(OpRole::FloatAdd);
+  uint32_t A2 = G.addNode(OpRole::FloatAdd);
+  uint32_t A3 = G.addNode(OpRole::FloatAdd);
+  uint32_t A4 = G.addNode(OpRole::FloatAdd);
+  uint32_t M = G.addNode(OpRole::FloatMul);
+  uint32_t St = G.addNode(OpRole::Store);
+  uint32_t Br = G.addNode(OpRole::Branch);
+  G.dataDep(Ai, L0);
+  G.dataDep(Ai, L4);
+  G.dataDep(L0, A1);
+  G.dataDep(L1, A1);
+  G.dataDep(L2, A2);
+  G.dataDep(L3, A2);
+  G.dataDep(A1, A3);
+  G.dataDep(A2, A3);
+  G.dataDep(A3, A4);
+  G.dataDep(L4, A4);
+  G.dataDep(A4, M);
+  G.dataDep(M, St);
+  G.orderDep(St, Br, 0);
+  return G;
+}
+
+/// A divide-heavy normalization loop: w[i] = x[i] / sqrt-ish denominator.
+RoleGraph normalize() {
+  RoleGraph G;
+  G.Name = "normalize";
+  uint32_t Lx = G.addNode(OpRole::Load);
+  uint32_t Ld = G.addNode(OpRole::Load);
+  uint32_t M = G.addNode(OpRole::FloatMul);
+  uint32_t A = G.addNode(OpRole::FloatAdd);
+  uint32_t D = G.addNode(OpRole::FloatDiv);
+  uint32_t St = G.addNode(OpRole::Store);
+  uint32_t Br = G.addNode(OpRole::Branch);
+  G.dataDep(Ld, M);
+  G.dataDep(M, A);
+  G.dataDep(A, D);
+  G.dataDep(Lx, D);
+  G.dataDep(D, St);
+  G.orderDep(St, Br, 0);
+  return G;
+}
+
+/// Integer bookkeeping loop: histogram-style update with address chains.
+RoleGraph histogram() {
+  RoleGraph G;
+  G.Name = "histogram";
+  uint32_t Li = G.addNode(OpRole::Load);
+  uint32_t Cv = G.addNode(OpRole::Convert);
+  uint32_t Ad = G.addNode(OpRole::AddrCalc);
+  uint32_t Lb = G.addNode(OpRole::Load);
+  uint32_t In = G.addNode(OpRole::IntAlu);
+  uint32_t St = G.addNode(OpRole::Store);
+  uint32_t Br = G.addNode(OpRole::Branch);
+  G.dataDep(Li, Cv);
+  G.dataDep(Cv, Ad);
+  G.dataDep(Ad, Lb);
+  G.dataDep(Lb, In);
+  G.dataDep(In, St);
+  // Potential same-bucket update: load of i+1 after store of i.
+  G.orderDep(St, Lb, 1, 1);
+  G.orderDep(St, Br, 0);
+  return G;
+}
+
+/// Predicated select loop (IF-converted): compare feeding two moves.
+RoleGraph selectLoop() {
+  RoleGraph G;
+  G.Name = "select";
+  uint32_t La = G.addNode(OpRole::Load);
+  uint32_t Lb = G.addNode(OpRole::Load);
+  uint32_t C = G.addNode(OpRole::Compare);
+  uint32_t Mv1 = G.addNode(OpRole::Move);
+  uint32_t Mv2 = G.addNode(OpRole::Move);
+  uint32_t St = G.addNode(OpRole::Store);
+  uint32_t Br = G.addNode(OpRole::Branch);
+  G.dataDep(La, C);
+  G.dataDep(Lb, C);
+  G.dataDep(C, Mv1);
+  G.dataDep(C, Mv2);
+  G.dataDep(Mv1, St);
+  G.dataDep(Mv2, St);
+  G.orderDep(St, Br, 0);
+  return G;
+}
+
+/// LFK2-style incomplete Cholesky fragment: two coupled FP chains.
+RoleGraph iccg() {
+  RoleGraph G;
+  G.Name = "iccg";
+  uint32_t Lv = G.addNode(OpRole::Load);
+  uint32_t Lx1 = G.addNode(OpRole::Load);
+  uint32_t Lx2 = G.addNode(OpRole::Load);
+  uint32_t M1 = G.addNode(OpRole::FloatMul);
+  uint32_t S1 = G.addNode(OpRole::FloatAdd);
+  uint32_t M2 = G.addNode(OpRole::FloatMul);
+  uint32_t S2 = G.addNode(OpRole::FloatAdd);
+  uint32_t St1 = G.addNode(OpRole::Store);
+  uint32_t St2 = G.addNode(OpRole::Store);
+  uint32_t Br = G.addNode(OpRole::Branch);
+  G.dataDep(Lv, M1);
+  G.dataDep(Lx1, M1);
+  G.dataDep(M1, S1);
+  G.dataDep(Lx2, S1);
+  G.dataDep(Lv, M2);
+  G.dataDep(S1, M2);
+  G.dataDep(M2, S2);
+  G.dataDep(S2, St1);
+  G.dataDep(S1, St2);
+  G.orderDep(St1, Br, 0);
+  G.orderDep(St2, Br, 0);
+  return G;
+}
+
+/// Banded linear equations (LFK4 flavour): dot-product with stride and a
+/// trailing update recurrence.
+RoleGraph banded() {
+  RoleGraph G;
+  G.Name = "banded";
+  uint32_t L1 = G.addNode(OpRole::Load);
+  uint32_t L2 = G.addNode(OpRole::Load);
+  uint32_t M = G.addNode(OpRole::FloatMul);
+  uint32_t A = G.addNode(OpRole::FloatAdd);
+  uint32_t L3 = G.addNode(OpRole::Load);
+  uint32_t M2 = G.addNode(OpRole::FloatMul);
+  uint32_t Sub = G.addNode(OpRole::FloatAdd);
+  uint32_t St = G.addNode(OpRole::Store);
+  uint32_t Br = G.addNode(OpRole::Branch);
+  G.dataDep(L1, M);
+  G.dataDep(L2, M);
+  G.dataDep(M, A);
+  G.dataDep(A, A, 1);
+  G.dataDep(A, M2);
+  G.dataDep(L3, M2);
+  G.dataDep(M2, Sub);
+  G.dataDep(Sub, St);
+  G.orderDep(St, Br, 0);
+  return G;
+}
+
+/// 2-D particle-in-cell fragment: address indirection and mixed int/FP.
+RoleGraph pic2d() {
+  RoleGraph G;
+  G.Name = "pic2d";
+  uint32_t Lp = G.addNode(OpRole::Load);
+  uint32_t Cv = G.addNode(OpRole::Convert);
+  uint32_t Ad1 = G.addNode(OpRole::AddrCalc);
+  uint32_t Ad2 = G.addNode(OpRole::AddrCalc);
+  uint32_t Lg1 = G.addNode(OpRole::Load);
+  uint32_t Lg2 = G.addNode(OpRole::Load);
+  uint32_t M1 = G.addNode(OpRole::FloatMul);
+  uint32_t A1 = G.addNode(OpRole::FloatAdd);
+  uint32_t A2 = G.addNode(OpRole::FloatAdd);
+  uint32_t St1 = G.addNode(OpRole::Store);
+  uint32_t In = G.addNode(OpRole::IntAlu);
+  uint32_t St2 = G.addNode(OpRole::Store);
+  uint32_t Br = G.addNode(OpRole::Branch);
+  G.dataDep(Lp, Cv);
+  G.dataDep(Cv, Ad1);
+  G.dataDep(Cv, Ad2);
+  G.dataDep(Ad1, Lg1);
+  G.dataDep(Ad2, Lg2);
+  G.dataDep(Lg1, M1);
+  G.dataDep(Lp, M1);
+  G.dataDep(M1, A1);
+  G.dataDep(Lg2, A1);
+  G.dataDep(A1, A2);
+  G.dataDep(A2, St1);
+  G.dataDep(Lg2, In);
+  G.dataDep(In, St2);
+  G.orderDep(St1, Br, 0);
+  G.orderDep(St2, Br, 0);
+  return G;
+}
+
+/// LFK8-style ADI integration fragment: wide independent FP expression
+/// with many loads, stressing memory-port alternatives.
+RoleGraph adi() {
+  RoleGraph G;
+  G.Name = "adi";
+  uint32_t L[6];
+  for (int I = 0; I < 6; ++I)
+    L[I] = G.addNode(OpRole::Load);
+  uint32_t M1 = G.addNode(OpRole::FloatMul);
+  uint32_t M2 = G.addNode(OpRole::FloatMul);
+  uint32_t M3 = G.addNode(OpRole::FloatMul);
+  uint32_t A1 = G.addNode(OpRole::FloatAdd);
+  uint32_t A2 = G.addNode(OpRole::FloatAdd);
+  uint32_t A3 = G.addNode(OpRole::FloatAdd);
+  uint32_t St1 = G.addNode(OpRole::Store);
+  uint32_t St2 = G.addNode(OpRole::Store);
+  uint32_t Br = G.addNode(OpRole::Branch);
+  G.dataDep(L[0], M1);
+  G.dataDep(L[1], M1);
+  G.dataDep(L[2], M2);
+  G.dataDep(L[3], M2);
+  G.dataDep(M1, A1);
+  G.dataDep(M2, A1);
+  G.dataDep(L[4], M3);
+  G.dataDep(A1, M3);
+  G.dataDep(M3, A2);
+  G.dataDep(L[5], A2);
+  G.dataDep(A1, A3);
+  G.dataDep(A2, A3);
+  G.dataDep(A2, St1);
+  G.dataDep(A3, St2);
+  G.orderDep(St1, Br, 0);
+  G.orderDep(St2, Br, 0);
+  return G;
+}
+
+/// LFK9-style integrate predictors: one very wide sum of products off a
+/// single loaded value (high ILP, FP-adder bound).
+RoleGraph predictors() {
+  RoleGraph G;
+  G.Name = "predictors";
+  uint32_t Lx = G.addNode(OpRole::Load);
+  uint32_t Sum = G.addNode(OpRole::FloatAdd);
+  G.dataDep(Lx, Sum);
+  for (int Term = 0; Term < 6; ++Term) {
+    uint32_t Lc = G.addNode(OpRole::Load);
+    uint32_t M = G.addNode(OpRole::FloatMul);
+    uint32_t A = G.addNode(OpRole::FloatAdd);
+    G.dataDep(Lc, M);
+    G.dataDep(Lx, M);
+    G.dataDep(M, A);
+    G.dataDep(Sum, A);
+    Sum = A;
+  }
+  uint32_t St = G.addNode(OpRole::Store);
+  uint32_t Br = G.addNode(OpRole::Branch);
+  G.dataDep(Sum, St);
+  G.orderDep(St, Br, 0);
+  return G;
+}
+
+/// FIR filter tap loop: reduction plus sliding loads.
+RoleGraph fir() {
+  RoleGraph G;
+  G.Name = "fir";
+  uint32_t Acc = ~0u;
+  for (int Tap = 0; Tap < 4; ++Tap) {
+    uint32_t Ls = G.addNode(OpRole::Load);
+    uint32_t Lc = G.addNode(OpRole::Load);
+    uint32_t M = G.addNode(OpRole::FloatMul);
+    uint32_t A = G.addNode(OpRole::FloatAdd);
+    G.dataDep(Ls, M);
+    G.dataDep(Lc, M);
+    G.dataDep(M, A);
+    if (Acc != ~0u)
+      G.dataDep(Acc, A);
+    Acc = A;
+  }
+  uint32_t St = G.addNode(OpRole::Store);
+  uint32_t Br = G.addNode(OpRole::Branch);
+  G.dataDep(Acc, St);
+  G.orderDep(St, Br, 0);
+  return G;
+}
+
+/// Complex multiply-accumulate: (ar+i*ai) * (br+i*bi) summed, a classic
+/// 4-mul / 4-add signal-processing body.
+RoleGraph complexMac() {
+  RoleGraph G;
+  G.Name = "complex_mac";
+  uint32_t Lar = G.addNode(OpRole::Load);
+  uint32_t Lai = G.addNode(OpRole::Load);
+  uint32_t Lbr = G.addNode(OpRole::Load);
+  uint32_t Lbi = G.addNode(OpRole::Load);
+  uint32_t M1 = G.addNode(OpRole::FloatMul); // ar*br
+  uint32_t M2 = G.addNode(OpRole::FloatMul); // ai*bi
+  uint32_t M3 = G.addNode(OpRole::FloatMul); // ar*bi
+  uint32_t M4 = G.addNode(OpRole::FloatMul); // ai*br
+  uint32_t Sr = G.addNode(OpRole::FloatAdd); // real part
+  uint32_t Si = G.addNode(OpRole::FloatAdd); // imag part
+  uint32_t AccR = G.addNode(OpRole::FloatAdd);
+  uint32_t AccI = G.addNode(OpRole::FloatAdd);
+  uint32_t Br = G.addNode(OpRole::Branch);
+  G.dataDep(Lar, M1);
+  G.dataDep(Lbr, M1);
+  G.dataDep(Lai, M2);
+  G.dataDep(Lbi, M2);
+  G.dataDep(Lar, M3);
+  G.dataDep(Lbi, M3);
+  G.dataDep(Lai, M4);
+  G.dataDep(Lbr, M4);
+  G.dataDep(M1, Sr);
+  G.dataDep(M2, Sr);
+  G.dataDep(M3, Si);
+  G.dataDep(M4, Si);
+  G.dataDep(Sr, AccR);
+  G.dataDep(AccR, AccR, 1); // accumulator recurrences
+  G.dataDep(Si, AccI);
+  G.dataDep(AccI, AccI, 1);
+  G.orderDep(AccR, Br, 0);
+  G.orderDep(AccI, Br, 0);
+  return G;
+}
+
+/// Matrix-multiply inner loop: dot-product with address updates on both
+/// streams (integer and FP units busy together).
+RoleGraph matmulInner() {
+  RoleGraph G;
+  G.Name = "matmul_inner";
+  uint32_t Aa = G.addNode(OpRole::AddrCalc);
+  uint32_t Ab = G.addNode(OpRole::AddrCalc);
+  uint32_t La = G.addNode(OpRole::Load);
+  uint32_t Lb = G.addNode(OpRole::Load);
+  uint32_t M = G.addNode(OpRole::FloatMul);
+  uint32_t A = G.addNode(OpRole::FloatAdd);
+  uint32_t Br = G.addNode(OpRole::Branch);
+  G.dataDep(Aa, La);
+  G.dataDep(Ab, Lb);
+  G.dataDep(Aa, Aa, 1); // induction pointers
+  G.dataDep(Ab, Ab, 1);
+  G.dataDep(La, M);
+  G.dataDep(Lb, M);
+  G.dataDep(M, A);
+  G.dataDep(A, A, 1); // dot-product reduction
+  G.orderDep(A, Br, 0);
+  return G;
+}
+
+/// Horner polynomial evaluation: the tightest mul-add recurrence
+/// (RecMII = mul latency + add latency).
+RoleGraph horner() {
+  RoleGraph G;
+  G.Name = "horner";
+  uint32_t Lx = G.addNode(OpRole::Load);
+  uint32_t Lc = G.addNode(OpRole::Load);
+  uint32_t M = G.addNode(OpRole::FloatMul);
+  uint32_t A = G.addNode(OpRole::FloatAdd);
+  uint32_t Br = G.addNode(OpRole::Branch);
+  G.dataDep(Lx, M);
+  G.dataDep(A, M, 1); // p = p*x + c across iterations
+  G.dataDep(M, A);
+  G.dataDep(Lc, A);
+  G.orderDep(A, Br, 0);
+  return G;
+}
+
+/// Planckian-distribution flavour (LFK15-ish): divide in the steady path.
+RoleGraph planckian() {
+  RoleGraph G;
+  G.Name = "planckian";
+  uint32_t Lu = G.addNode(OpRole::Load);
+  uint32_t Lv = G.addNode(OpRole::Load);
+  uint32_t Cv = G.addNode(OpRole::Convert);
+  uint32_t M = G.addNode(OpRole::FloatMul);
+  uint32_t A = G.addNode(OpRole::FloatAdd);
+  uint32_t D = G.addNode(OpRole::FloatDiv);
+  uint32_t M2 = G.addNode(OpRole::FloatMul);
+  uint32_t St = G.addNode(OpRole::Store);
+  uint32_t Br = G.addNode(OpRole::Branch);
+  G.dataDep(Lu, Cv);
+  G.dataDep(Cv, M);
+  G.dataDep(Lv, M);
+  G.dataDep(M, A);
+  G.dataDep(A, D);
+  G.dataDep(Lv, D);
+  G.dataDep(D, M2);
+  G.dataDep(M2, St);
+  G.orderDep(St, Br, 0);
+  return G;
+}
+
+/// Strided gather-scatter copy with integer index arithmetic.
+RoleGraph gatherScatter() {
+  RoleGraph G;
+  G.Name = "gather_scatter";
+  uint32_t Li = G.addNode(OpRole::Load); // index vector
+  uint32_t Ad1 = G.addNode(OpRole::AddrCalc);
+  uint32_t Lv = G.addNode(OpRole::Load); // gathered value
+  uint32_t In = G.addNode(OpRole::IntAlu);
+  uint32_t Ad2 = G.addNode(OpRole::AddrCalc);
+  uint32_t St = G.addNode(OpRole::Store);
+  uint32_t Br = G.addNode(OpRole::Branch);
+  G.dataDep(Li, Ad1);
+  G.dataDep(Ad1, Lv);
+  G.dataDep(Li, In);
+  G.dataDep(In, Ad2);
+  G.dataDep(Lv, St);
+  G.dataDep(Ad2, St);
+  // Conservative carried store->load aliasing.
+  G.orderDep(St, Lv, 1, 1);
+  G.orderDep(St, Br, 0);
+  return G;
+}
+
+/// A long multiply ladder exercising the partially pipelined multiplier.
+RoleGraph polyEval() {
+  RoleGraph G;
+  G.Name = "poly_eval";
+  uint32_t Lx = G.addNode(OpRole::Load);
+  uint32_t Prev = Lx;
+  for (int Term = 0; Term < 5; ++Term) {
+    uint32_t M = G.addNode(OpRole::FloatMul);
+    uint32_t A = G.addNode(OpRole::FloatAdd);
+    G.dataDep(Prev, M);
+    G.dataDep(Lx, M);
+    G.dataDep(M, A);
+    Prev = A;
+  }
+  uint32_t St = G.addNode(OpRole::Store);
+  uint32_t Br = G.addNode(OpRole::Branch);
+  G.dataDep(Prev, St);
+  G.orderDep(St, Br, 0);
+  return G;
+}
+
+} // namespace
+
+std::vector<RoleGraph> rmd::livermoreKernels() {
+  return {hydro(),       innerProduct(), tridiag(),   eos(),
+          firstSum(),    firstDiff(),    daxpy(),     stencil5(),
+          normalize(),   histogram(),    selectLoop(), iccg(),
+          banded(),      pic2d(),        polyEval(),  adi(),
+          predictors(),  fir(),          complexMac(), matmulInner(),
+          horner(),      planckian(),    gatherScatter()};
+}
+
+RoleGraph rmd::replicate(const RoleGraph &RG, unsigned Copies) {
+  assert(Copies >= 1 && "need at least one copy");
+  RoleGraph Out;
+  Out.Name = RG.Name + "x" + std::to_string(Copies);
+
+  // The branch (loop control) is shared across copies.
+  int SharedBranch = -1;
+
+  std::vector<std::vector<uint32_t>> NodeMap(
+      Copies, std::vector<uint32_t>(RG.Nodes.size(), 0));
+  for (unsigned C = 0; C < Copies; ++C)
+    for (uint32_t N = 0; N < RG.Nodes.size(); ++N) {
+      if (RG.Nodes[N] == OpRole::Branch) {
+        if (SharedBranch < 0)
+          SharedBranch = static_cast<int>(Out.addNode(OpRole::Branch));
+        NodeMap[C][N] = static_cast<uint32_t>(SharedBranch);
+        continue;
+      }
+      NodeMap[C][N] = Out.addNode(RG.Nodes[N]);
+    }
+
+  for (unsigned C = 0; C < Copies; ++C)
+    for (const RoleEdge &E : RG.Edges) {
+      RoleEdge NE = E;
+      NE.From = NodeMap[C][E.From];
+      NE.To = NodeMap[C][E.To];
+      // Duplicate edges onto the shared branch only once.
+      if (RG.Nodes[E.To] == OpRole::Branch && C > 0)
+        continue;
+      Out.Edges.push_back(NE);
+    }
+  return Out;
+}

@@ -1,0 +1,30 @@
+//===- workload/Kernels.h - Livermore-style loop kernels -------*- C++ -*-===//
+///
+/// \file
+/// Hand-modelled inner-loop kernels in the style of the Livermore Fortran
+/// Kernels / Perfect Club / SPEC-89 loops of the paper's benchmark: DAXPY
+/// shapes, reductions, first-order recurrences, stencils, equations of
+/// state. Together with the random generator they form the corpus standing
+/// in for the paper's 1327 modulo-scheduled loops.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMD_WORKLOAD_KERNELS_H
+#define RMD_WORKLOAD_KERNELS_H
+
+#include "workload/RoleGraph.h"
+
+namespace rmd {
+
+/// The kernel suite, in a fixed order (names embedded).
+std::vector<RoleGraph> livermoreKernels();
+
+/// Replicates \p RG \p Copies times inside one loop body (unroll-and-jam of
+/// independent iterations): node/edge structure is duplicated per copy;
+/// loop-carried edges stay within their copy. The single Branch node (if
+/// any) is not duplicated.
+RoleGraph replicate(const RoleGraph &RG, unsigned Copies);
+
+} // namespace rmd
+
+#endif // RMD_WORKLOAD_KERNELS_H

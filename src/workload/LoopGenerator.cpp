@@ -1,0 +1,84 @@
+//===- workload/LoopGenerator.cpp -----------------------------------------===//
+
+#include "workload/LoopGenerator.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace rmd;
+
+/// Samples a loop size with a right-skewed distribution: most loops are
+/// small, a long tail reaches MaxOps (matching Table 5's 2.00 min / 17.54
+/// mean / 161 max shape).
+static unsigned sampleSize(RNG &R, const LoopGeneratorParams &P) {
+  // Exponential-ish sampling: -mean * ln(u), clipped.
+  double U = R.nextDouble();
+  double Raw = -(P.MeanOps - 2.0) * std::log(1.0 - U) + 2.0;
+  double Clipped = std::clamp(Raw, static_cast<double>(P.MinOps),
+                              static_cast<double>(P.MaxOps));
+  return static_cast<unsigned>(Clipped);
+}
+
+RoleGraph rmd::generateLoop(RNG &R, const LoopGeneratorParams &P) {
+  RoleGraph G;
+  G.Name = "rand";
+  unsigned N = sampleSize(R, P);
+  bool WithDivide = R.nextChance(P.DividePercent, 100);
+
+  // Role mix: loads feed FP/int work; ~1/5 of nodes store; one branch.
+  // Weights roughly match compiled scientific inner loops.
+  std::vector<double> RoleWeights = {
+      /*IntAlu*/ 10, /*AddrCalc*/ 8, /*Load*/ 22, /*Store*/ 10,
+      /*FloatAdd*/ 22, /*FloatMul*/ 18, /*FloatDiv*/ WithDivide ? 4.0 : 0.0,
+      /*Convert*/ 3, /*Compare*/ 2, /*Move*/ 1, /*Branch*/ 0};
+
+  // Reserve the last node for the loop branch.
+  unsigned Body = N > 1 ? N - 1 : 1;
+  for (unsigned I = 0; I < Body; ++I)
+    G.addNode(static_cast<OpRole>(R.nextWeighted(RoleWeights)));
+
+  // Dataflow DAG: each non-root picks 1-2 predecessors among earlier
+  // nodes, biased toward recent ones (deep, narrow expression trees).
+  for (uint32_t V = 1; V < Body; ++V) {
+    unsigned NumPreds = 1 + (R.nextChance(2, 5) ? 1 : 0);
+    for (unsigned K = 0; K < NumPreds; ++K) {
+      uint32_t Window = std::min<uint32_t>(V, 8);
+      uint32_t From = V - 1 - static_cast<uint32_t>(R.nextBelow(Window));
+      if (From != V)
+        G.dataDep(From, V);
+    }
+  }
+
+  // Optional FP recurrence: a self-arc on some FP add (a reduction), the
+  // dominant recurrence pattern after back-substitution.
+  if (R.nextChance(P.RecurrencePercent, 100)) {
+    for (uint32_t V = 0; V < Body; ++V)
+      if (G.Nodes[V] == OpRole::FloatAdd) {
+        int Distance = 1 + static_cast<int>(R.nextBelow(2));
+        G.dataDep(V, V, Distance);
+        break;
+      }
+  }
+
+  // Optional loop-carried memory dependence: a store of iteration i
+  // ordering a load of iteration i+d.
+  if (R.nextChance(P.MemoryCarryPercent, 100)) {
+    int StoreNode = -1, LoadNode = -1;
+    for (uint32_t V = 0; V < Body; ++V) {
+      if (G.Nodes[V] == OpRole::Store && StoreNode < 0)
+        StoreNode = static_cast<int>(V);
+      if (G.Nodes[V] == OpRole::Load && LoadNode < 0)
+        LoadNode = static_cast<int>(V);
+    }
+    if (StoreNode >= 0 && LoadNode >= 0)
+      G.orderDep(static_cast<uint32_t>(StoreNode),
+                 static_cast<uint32_t>(LoadNode), 1,
+                 1 + static_cast<int>(R.nextBelow(2)));
+  }
+
+  // Loop-control branch, ordered after one late body node.
+  uint32_t Br = G.addNode(OpRole::Branch);
+  if (Body >= 1)
+    G.orderDep(Body - 1, Br, 0);
+  return G;
+}

@@ -1,0 +1,46 @@
+//===- workload/RoleGraph.cpp ---------------------------------------------===//
+
+#include "workload/RoleGraph.h"
+
+#include "support/FatalError.h"
+
+using namespace rmd;
+
+OpId rmd::resolveRole(const MachineModel &Model, OpRole Role) {
+  // Fallback chain for machines without a dedicated operation for a role;
+  // IntAlu, Load, Store and Branch are terminal (every model provides
+  // them).
+  static constexpr OpRole Fallback[] = {
+      /*IntAlu*/ OpRole::IntAlu,     /*AddrCalc*/ OpRole::IntAlu,
+      /*Load*/ OpRole::Load,         /*Store*/ OpRole::Store,
+      /*FloatAdd*/ OpRole::IntAlu,   /*FloatMul*/ OpRole::IntAlu,
+      /*FloatDiv*/ OpRole::FloatMul, /*Convert*/ OpRole::FloatAdd,
+      /*Compare*/ OpRole::IntAlu,    /*Move*/ OpRole::IntAlu,
+      /*Branch*/ OpRole::Branch,
+  };
+
+  OpRole Wanted = Role;
+  for (int Step = 0; Step < 4; ++Step) {
+    for (OpId Op = 0; Op < Model.Role.size(); ++Op)
+      if (Model.Role[Op] == Wanted)
+        return Op;
+    OpRole Next = Fallback[static_cast<size_t>(Wanted)];
+    if (Next == Wanted)
+      break;
+    Wanted = Next;
+  }
+  fatalError("machine model provides no operation for a workload role");
+}
+
+DepGraph rmd::bind(const RoleGraph &RG, const MachineModel &Model) {
+  DepGraph G(RG.Name);
+  for (OpRole Role : RG.Nodes)
+    G.addNode(resolveRole(Model, Role));
+  for (const RoleEdge &E : RG.Edges) {
+    int Delay = E.ExtraDelay;
+    if (E.UseProducerLatency)
+      Delay += Model.Latency[G.opOf(E.From)];
+    G.addEdge(E.From, E.To, Delay, E.Distance);
+  }
+  return G;
+}

@@ -1,0 +1,69 @@
+//===- workload/RoleGraph.h - Machine-agnostic loop bodies -----*- C++ -*-===//
+///
+/// \file
+/// Machine-agnostic dependence graphs. Nodes carry operation *roles*
+/// (load, FP add, ...) instead of machine op ids, so the same kernel can be
+/// bound to any MachineModel; edge delays are resolved from the bound
+/// producer's latency. This is how the reproduction stands in for the
+/// paper's compiler IR (Fortran loops after load-store elimination,
+/// back-substitution and IF-conversion): what the scheduler sees is a
+/// dependence graph with machine latencies, which bind() produces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMD_WORKLOAD_ROLEGRAPH_H
+#define RMD_WORKLOAD_ROLEGRAPH_H
+
+#include "machines/MachineModel.h"
+#include "sched/DepGraph.h"
+
+#include <string>
+#include <vector>
+
+namespace rmd {
+
+/// An edge of a role graph. The bound delay is the producer's machine
+/// latency (for data dependences) plus ExtraDelay, or just ExtraDelay for
+/// non-data dependences (anti/output/control).
+struct RoleEdge {
+  uint32_t From = 0;
+  uint32_t To = 0;
+  int Distance = 0;
+  int ExtraDelay = 0;
+  bool UseProducerLatency = true;
+};
+
+/// A loop body over operation roles.
+struct RoleGraph {
+  std::string Name;
+  std::vector<OpRole> Nodes;
+  std::vector<RoleEdge> Edges;
+
+  uint32_t addNode(OpRole Role) {
+    Nodes.push_back(Role);
+    return static_cast<uint32_t>(Nodes.size() - 1);
+  }
+
+  /// Adds a data dependence: To issues >= latency(From) cycles later.
+  void dataDep(uint32_t From, uint32_t To, int Distance = 0) {
+    Edges.push_back(RoleEdge{From, To, Distance, 0, true});
+  }
+
+  /// Adds a non-data dependence with a fixed delay (e.g. anti dependences
+  /// with delay 0 or 1).
+  void orderDep(uint32_t From, uint32_t To, int Delay, int Distance = 0) {
+    Edges.push_back(RoleEdge{From, To, Distance, Delay, false});
+  }
+};
+
+/// Resolves \p Role to an operation of \p Model, falling back to a coarser
+/// role when the machine lacks a specialized one (e.g. AddrCalc -> IntAlu).
+OpId resolveRole(const MachineModel &Model, OpRole Role);
+
+/// Binds \p RG to \p Model: picks a concrete operation per node and
+/// resolves edge delays from producer latencies.
+DepGraph bind(const RoleGraph &RG, const MachineModel &Model);
+
+} // namespace rmd
+
+#endif // RMD_WORKLOAD_ROLEGRAPH_H

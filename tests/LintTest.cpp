@@ -1,0 +1,83 @@
+//===- tests/LintTest.cpp - Machine description linter tests --------------===//
+
+#include "machines/MachineModel.h"
+#include "mdesc/Lint.h"
+
+#include <gtest/gtest.h>
+
+using namespace rmd;
+
+namespace {
+
+bool hasWarning(const DiagnosticEngine &Diags, const std::string &Needle) {
+  for (const Diagnostic &D : Diags.diagnostics())
+    if (D.Message.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST(Lint, FlagsUnusedResourceAndEmptyOperation) {
+  MachineDescription MD("m");
+  MD.addResource("ghost");
+  ResourceId R = MD.addResource("real");
+  MD.addOperation("nop", ReservationTable());
+  ReservationTable T;
+  T.addUsage(R, 0);
+  MD.addOperation("x", T);
+
+  DiagnosticEngine Diags;
+  unsigned Warnings = lintMachine(MD, Diags);
+  EXPECT_GE(Warnings, 2u);
+  EXPECT_TRUE(hasWarning(Diags, "'ghost' is used by no operation"));
+  EXPECT_TRUE(hasWarning(Diags, "'nop' uses no resources"));
+  EXPECT_FALSE(Diags.hasErrors()); // lint produces warnings only
+}
+
+TEST(Lint, FlagsOverlongTableAndDuplicateAlternatives) {
+  MachineDescription MD("m");
+  ResourceId R = MD.addResource("r");
+  ReservationTable Long;
+  Long.addUsage(R, 0);
+  Long.addUsage(R, 70);
+  MD.addOperation("marathon", Long);
+
+  ReservationTable Alt;
+  Alt.addUsage(R, 1);
+  MD.addOperation("twins", {Alt, Alt});
+
+  DiagnosticEngine Diags;
+  lintMachine(MD, Diags);
+  EXPECT_TRUE(hasWarning(Diags, "spans 71 cycles"));
+  EXPECT_TRUE(hasWarning(Diags, "duplicate alternatives"));
+}
+
+TEST(Lint, FlagsIdenticalTablesAcrossOperations) {
+  MachineDescription MD("m");
+  ResourceId R = MD.addResource("r");
+  ReservationTable T;
+  T.addUsage(R, 0);
+  MD.addOperation("a", T);
+  MD.addOperation("b", T);
+  DiagnosticEngine Diags;
+  lintMachine(MD, Diags);
+  EXPECT_TRUE(hasWarning(Diags, "identical reservation tables"));
+}
+
+TEST(Lint, BuiltinMachinesAreMostlyClean) {
+  // Builtins may legitimately contain identical-table pairs (operation
+  // classes) but no unused resources, no empty tables, no over-long
+  // tables, no duplicate alternatives.
+  for (const MachineModel &M :
+       {makeCydra5(), makeAlpha21064(), makeMipsR3000(), makeToyVliw(),
+        makePlayDoh(), makeM88100()}) {
+    DiagnosticEngine Diags;
+    lintMachine(M.MD, Diags);
+    EXPECT_FALSE(hasWarning(Diags, "used by no operation")) << M.MD.name();
+    EXPECT_FALSE(hasWarning(Diags, "uses no resources")) << M.MD.name();
+    EXPECT_FALSE(hasWarning(Diags, "spans")) << M.MD.name();
+    EXPECT_FALSE(hasWarning(Diags, "duplicate alternatives"))
+        << M.MD.name();
+  }
+}

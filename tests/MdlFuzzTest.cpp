@@ -1,0 +1,97 @@
+//===- tests/MdlFuzzTest.cpp - Parser robustness under hostile input ------===//
+//
+// The MDL parser is the library's user-input boundary: it must reject
+// arbitrary garbage with diagnostics, never crash, and never return a
+// description that fails validation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "machines/MachineModel.h"
+#include "mdl/Parser.h"
+#include "mdl/Writer.h"
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+using namespace rmd;
+
+namespace {
+
+const char *Alphabet[] = {
+    "machine", "resources", "operation", "alternative", "at", "latency",
+    "role",    "{",         "}",         ",",           ";",  "..",
+    "0",       "7",         "42",        "r0",          "x",  "load",
+    "#c\n",    " ",         "\n",        "@",           "$",  "%",
+};
+
+/// Parsing must terminate without crashing; on success the result must
+/// validate.
+void parseMustBehave(const std::string &Text) {
+  DiagnosticEngine Diags;
+  std::optional<MachineDescription> MD = parseMdl(Text, Diags);
+  if (MD.has_value()) {
+    DiagnosticEngine Check;
+    EXPECT_TRUE(MD->validate(Check));
+  } else {
+    EXPECT_TRUE(Diags.hasErrors());
+  }
+}
+
+} // namespace
+
+TEST(MdlFuzz, RandomTokenSoup) {
+  RNG R(0xF022);
+  for (int Trial = 0; Trial < 3000; ++Trial) {
+    std::string Text;
+    unsigned Tokens = 1 + static_cast<unsigned>(R.nextBelow(40));
+    for (unsigned T = 0; T < Tokens; ++T) {
+      Text += Alphabet[R.nextBelow(std::size(Alphabet))];
+      Text += ' ';
+    }
+    parseMustBehave(Text);
+  }
+}
+
+TEST(MdlFuzz, RandomBytes) {
+  RNG R(0xB17E);
+  for (int Trial = 0; Trial < 1500; ++Trial) {
+    std::string Text;
+    unsigned Len = static_cast<unsigned>(R.nextBelow(120));
+    for (unsigned I = 0; I < Len; ++I)
+      Text += static_cast<char>(R.nextInRange(1, 126));
+    parseMustBehave(Text);
+  }
+}
+
+TEST(MdlFuzz, MutationsOfValidInput) {
+  std::string Valid = writeMdl(makeCydra5().MD);
+  RNG R(0x5EED);
+  for (int Trial = 0; Trial < 1500; ++Trial) {
+    std::string Text = Valid;
+    // Apply 1-4 random deletions/substitutions/duplications.
+    unsigned Edits = 1 + static_cast<unsigned>(R.nextBelow(4));
+    for (unsigned E = 0; E < Edits && !Text.empty(); ++E) {
+      size_t Pos = R.nextBelow(Text.size());
+      switch (R.nextBelow(3)) {
+      case 0:
+        Text.erase(Pos, 1 + R.nextBelow(5));
+        break;
+      case 1:
+        Text[Pos] = static_cast<char>(R.nextInRange(32, 126));
+        break;
+      default:
+        Text.insert(Pos, std::string(1 + R.nextBelow(3),
+                                     static_cast<char>(
+                                         R.nextInRange(32, 126))));
+        break;
+      }
+    }
+    parseMustBehave(Text);
+  }
+}
+
+TEST(MdlFuzz, TruncationsOfValidInput) {
+  std::string Valid = writeMdl(makeMipsR3000().MD);
+  for (size_t Cut = 0; Cut < Valid.size(); Cut += 13)
+    parseMustBehave(Valid.substr(0, Cut));
+}

@@ -1,0 +1,109 @@
+//===- tests/MdlModelTest.cpp - Annotated MDL model tests -----------------===//
+
+#include "machines/MdlModel.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+using namespace rmd;
+
+#ifndef RMD_SOURCE_DIR
+#define RMD_SOURCE_DIR "."
+#endif
+
+TEST(MdlModel, RoleNamesRoundTrip) {
+  for (OpRole Role :
+       {OpRole::IntAlu, OpRole::AddrCalc, OpRole::Load, OpRole::Store,
+        OpRole::FloatAdd, OpRole::FloatMul, OpRole::FloatDiv,
+        OpRole::Convert, OpRole::Compare, OpRole::Move, OpRole::Branch}) {
+    std::optional<OpRole> Back = roleFromName(roleName(Role));
+    ASSERT_TRUE(Back.has_value());
+    EXPECT_EQ(*Back, Role);
+  }
+  EXPECT_FALSE(roleFromName("warp-drive").has_value());
+}
+
+TEST(MdlModel, BuiltinModelsRoundTrip) {
+  for (const MachineModel &M :
+       {makeCydra5(), makeAlpha21064(), makeMipsR3000(), makeToyVliw(),
+        makePlayDoh(), makeM88100()}) {
+    std::string Text = writeMdlModel(M);
+    DiagnosticEngine Diags;
+    std::optional<MachineModel> Back = parseMdlModel(Text, Diags);
+    ASSERT_TRUE(Back.has_value()) << M.MD.name();
+    EXPECT_FALSE(Diags.hasErrors());
+    EXPECT_EQ(Back->MD, M.MD) << M.MD.name();
+    EXPECT_EQ(Back->Latency, M.Latency) << M.MD.name();
+    EXPECT_EQ(Back->Role, M.Role) << M.MD.name();
+  }
+}
+
+TEST(MdlModel, AnnotationsParsed) {
+  DiagnosticEngine Diags;
+  std::optional<MachineModel> Model = parseMdlModel(R"(
+    machine m {
+      resources r;
+      operation ld latency 3 role load { r at 0; }
+      operation st role store latency 1 { r at 0; }
+    }
+  )",
+                                                    Diags);
+  ASSERT_TRUE(Model.has_value());
+  EXPECT_EQ(Model->Latency, (std::vector<int>{3, 1}));
+  EXPECT_EQ(Model->Role, (std::vector<OpRole>{OpRole::Load, OpRole::Store}));
+  EXPECT_TRUE(Diags.diagnostics().empty());
+}
+
+TEST(MdlModel, DefaultsWarn) {
+  DiagnosticEngine Diags;
+  std::optional<MachineModel> Model = parseMdlModel(
+      "machine m { resources r; operation x { r at 0; r at 4; } }", Diags);
+  ASSERT_TRUE(Model.has_value());
+  // Default latency = table length; default role = int-alu; two warnings.
+  EXPECT_EQ(Model->Latency, (std::vector<int>{5}));
+  EXPECT_EQ(Model->Role, (std::vector<OpRole>{OpRole::IntAlu}));
+  EXPECT_EQ(Diags.diagnostics().size(), 2u);
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+TEST(MdlModel, UnknownRoleIsAnError) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(parseMdlModel("machine m { resources r; operation x role "
+                             "quux { r at 0; } }",
+                             Diags)
+                   .has_value());
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(MdlModel, CheckedInFilesMatchBuiltins) {
+  // The machines/*.mdl files in the repository must stay in sync with the
+  // builtin constructors (they are generated from them).
+  struct Entry {
+    const char *File;
+    MachineModel Model;
+  };
+  std::vector<Entry> Entries;
+  Entries.push_back({"machines/cydra5.mdl", makeCydra5()});
+  Entries.push_back({"machines/alpha21064.mdl", makeAlpha21064()});
+  Entries.push_back({"machines/mips-r3000-r3010.mdl", makeMipsR3000()});
+  Entries.push_back({"machines/toyvliw.mdl", makeToyVliw()});
+  Entries.push_back({"machines/playdoh.mdl", makePlayDoh()});
+  Entries.push_back({"machines/m88100.mdl", makeM88100()});
+
+  for (const Entry &E : Entries) {
+    std::string Path = std::string(RMD_SOURCE_DIR) + "/" + E.File;
+    std::ifstream In(Path);
+    ASSERT_TRUE(In.good()) << "missing " << Path;
+    std::ostringstream SS;
+    SS << In.rdbuf();
+
+    DiagnosticEngine Diags;
+    std::optional<MachineModel> Parsed = parseMdlModel(SS.str(), Diags);
+    ASSERT_TRUE(Parsed.has_value()) << Path;
+    EXPECT_EQ(Parsed->MD, E.Model.MD) << Path;
+    EXPECT_EQ(Parsed->Latency, E.Model.Latency) << Path;
+    EXPECT_EQ(Parsed->Role, E.Model.Role) << Path;
+  }
+}

@@ -1,0 +1,134 @@
+//===- tests/SupportTest.cpp - support/ unit tests ------------------------===//
+
+#include "support/Diagnostics.h"
+#include "support/OnlineStats.h"
+#include "support/RNG.h"
+#include "support/TextTable.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace rmd;
+
+TEST(Diagnostics, CollectsAndCounts) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.warning({1, 2}, "watch out");
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.error({3, 4}, "bad thing");
+  Diags.note({}, "context");
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.errorCount(), 1u);
+  ASSERT_EQ(Diags.diagnostics().size(), 3u);
+  EXPECT_EQ(Diags.diagnostics()[1].Message, "bad thing");
+}
+
+TEST(Diagnostics, PrintFormat) {
+  DiagnosticEngine Diags;
+  Diags.error({7, 3}, "unexpected token");
+  Diags.note({}, "while parsing machine");
+  std::ostringstream OS;
+  Diags.print(OS, "m.mdl");
+  EXPECT_EQ(OS.str(), "m.mdl:7:3: error: unexpected token\n"
+                      "m.mdl: note: while parsing machine\n");
+}
+
+TEST(Diagnostics, ClearResets) {
+  DiagnosticEngine Diags;
+  Diags.error({1, 1}, "x");
+  Diags.clear();
+  EXPECT_FALSE(Diags.hasErrors());
+  EXPECT_TRUE(Diags.diagnostics().empty());
+}
+
+TEST(RNG, Deterministic) {
+  RNG A(42), B(42), C(43);
+  EXPECT_EQ(A.next(), B.next());
+  EXPECT_EQ(A.next(), B.next());
+  RNG A2(42);
+  EXPECT_NE(A2.next(), C.next());
+}
+
+TEST(RNG, BoundsRespected) {
+  RNG R(7);
+  for (int I = 0; I < 1000; ++I) {
+    uint64_t V = R.nextBelow(10);
+    EXPECT_LT(V, 10u);
+    int64_t W = R.nextInRange(-5, 5);
+    EXPECT_GE(W, -5);
+    EXPECT_LE(W, 5);
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(RNG, BoundsReachable) {
+  RNG R(11);
+  bool SawZero = false, SawMax = false;
+  for (int I = 0; I < 2000; ++I) {
+    uint64_t V = R.nextBelow(4);
+    SawZero |= V == 0;
+    SawMax |= V == 3;
+  }
+  EXPECT_TRUE(SawZero);
+  EXPECT_TRUE(SawMax);
+}
+
+TEST(RNG, WeightedPick) {
+  RNG R(13);
+  std::vector<double> Weights = {0.0, 1.0, 3.0};
+  int Counts[3] = {0, 0, 0};
+  for (int I = 0; I < 4000; ++I)
+    ++Counts[R.nextWeighted(Weights)];
+  EXPECT_EQ(Counts[0], 0);
+  EXPECT_GT(Counts[2], Counts[1]);
+}
+
+TEST(OnlineStats, Basic) {
+  OnlineStats S;
+  S.add(3);
+  S.add(1);
+  S.add(1);
+  S.add(5);
+  EXPECT_EQ(S.count(), 4u);
+  EXPECT_DOUBLE_EQ(S.min(), 1);
+  EXPECT_DOUBLE_EQ(S.max(), 5);
+  EXPECT_DOUBLE_EQ(S.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(S.fractionAtMin(), 0.5);
+}
+
+TEST(OnlineStats, MinTrackedAfterNewMin) {
+  OnlineStats S;
+  S.add(2);
+  S.add(2);
+  S.add(1);
+  EXPECT_DOUBLE_EQ(S.fractionAtMin(), 1.0 / 3.0);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable T;
+  T.row();
+  T.cell("name");
+  T.cell("value");
+  T.row();
+  T.cell("x");
+  T.cellInt(12345);
+  T.row();
+  T.cell("longer");
+  T.cell(1.5, 2);
+  std::ostringstream OS;
+  T.print(OS);
+  std::string Out = OS.str();
+  EXPECT_NE(Out.find("name"), std::string::npos);
+  EXPECT_NE(Out.find("12345"), std::string::npos);
+  EXPECT_NE(Out.find("1.50"), std::string::npos);
+  // Header rule present.
+  EXPECT_NE(Out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, FormatFixed) {
+  EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
+  EXPECT_EQ(formatFixed(2.0, 0), "2");
+}
