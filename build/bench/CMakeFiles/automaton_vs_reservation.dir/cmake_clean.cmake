@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automaton_vs_reservation.dir/automaton_vs_reservation.cpp.o"
+  "CMakeFiles/automaton_vs_reservation.dir/automaton_vs_reservation.cpp.o.d"
+  "automaton_vs_reservation"
+  "automaton_vs_reservation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automaton_vs_reservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for automaton_vs_reservation.
+# This may be replaced when dependencies are built.

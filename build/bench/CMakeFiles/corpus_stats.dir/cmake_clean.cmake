@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_stats.dir/corpus_stats.cpp.o"
+  "CMakeFiles/corpus_stats.dir/corpus_stats.cpp.o.d"
+  "corpus_stats"
+  "corpus_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

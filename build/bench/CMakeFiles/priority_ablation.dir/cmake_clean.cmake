@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priority_ablation.dir/priority_ablation.cpp.o"
+  "CMakeFiles/priority_ablation.dir/priority_ablation.cpp.o.d"
+  "priority_ablation"
+  "priority_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priority_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

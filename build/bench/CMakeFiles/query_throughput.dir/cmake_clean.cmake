@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_throughput.dir/query_throughput.cpp.o"
+  "CMakeFiles/query_throughput.dir/query_throughput.cpp.o.d"
+  "query_throughput"
+  "query_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reduction_time.dir/reduction_time.cpp.o"
+  "CMakeFiles/reduction_time.dir/reduction_time.cpp.o.d"
+  "reduction_time"
+  "reduction_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reduction_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmd_benchsupport.dir/BenchSupport.cpp.o"
+  "CMakeFiles/rmd_benchsupport.dir/BenchSupport.cpp.o.d"
+  "librmd_benchsupport.a"
+  "librmd_benchsupport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmd_benchsupport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selection_ablation.dir/selection_ablation.cpp.o"
+  "CMakeFiles/selection_ablation.dir/selection_ablation.cpp.o.d"
+  "selection_ablation"
+  "selection_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selection_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

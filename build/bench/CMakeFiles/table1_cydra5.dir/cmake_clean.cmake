@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_cydra5.dir/table1_cydra5.cpp.o"
+  "CMakeFiles/table1_cydra5.dir/table1_cydra5.cpp.o.d"
+  "table1_cydra5"
+  "table1_cydra5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_cydra5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

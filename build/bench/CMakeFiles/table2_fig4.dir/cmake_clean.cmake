@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_fig4.dir/table2_fig4.cpp.o"
+  "CMakeFiles/table2_fig4.dir/table2_fig4.cpp.o.d"
+  "table2_fig4"
+  "table2_fig4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_fig4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_fig4.
+# This may be replaced when dependencies are built.

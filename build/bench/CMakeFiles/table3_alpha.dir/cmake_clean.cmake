@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_alpha.dir/table3_alpha.cpp.o"
+  "CMakeFiles/table3_alpha.dir/table3_alpha.cpp.o.d"
+  "table3_alpha"
+  "table3_alpha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_mips.dir/table4_mips.cpp.o"
+  "CMakeFiles/table4_mips.dir/table4_mips.cpp.o.d"
+  "table4_mips"
+  "table4_mips.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_mips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

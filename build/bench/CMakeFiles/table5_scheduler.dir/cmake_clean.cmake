@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_scheduler.dir/table5_scheduler.cpp.o"
+  "CMakeFiles/table5_scheduler.dir/table5_scheduler.cpp.o.d"
+  "table5_scheduler"
+  "table5_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_workunits.dir/table6_workunits.cpp.o"
+  "CMakeFiles/table6_workunits.dir/table6_workunits.cpp.o.d"
+  "table6_workunits"
+  "table6_workunits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_workunits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_boundaries.dir/block_boundaries.cpp.o"
+  "CMakeFiles/block_boundaries.dir/block_boundaries.cpp.o.d"
+  "block_boundaries"
+  "block_boundaries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_boundaries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

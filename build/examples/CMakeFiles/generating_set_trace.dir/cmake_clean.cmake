@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generating_set_trace.dir/generating_set_trace.cpp.o"
+  "CMakeFiles/generating_set_trace.dir/generating_set_trace.cpp.o.d"
+  "generating_set_trace"
+  "generating_set_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generating_set_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

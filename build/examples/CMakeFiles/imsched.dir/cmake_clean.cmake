@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imsched.dir/imsched.cpp.o"
+  "CMakeFiles/imsched.dir/imsched.cpp.o.d"
+  "imsched"
+  "imsched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imsched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdldiff.dir/mdldiff.cpp.o"
+  "CMakeFiles/mdldiff.dir/mdldiff.cpp.o.d"
+  "mdldiff"
+  "mdldiff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdldiff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdlreduce.dir/mdlreduce.cpp.o"
+  "CMakeFiles/mdlreduce.dir/mdlreduce.cpp.o.d"
+  "mdlreduce"
+  "mdlreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdlreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

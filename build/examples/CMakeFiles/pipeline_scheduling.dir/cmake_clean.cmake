@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_scheduling.dir/pipeline_scheduling.cpp.o"
+  "CMakeFiles/pipeline_scheduling.dir/pipeline_scheduling.cpp.o.d"
+  "pipeline_scheduling"
+  "pipeline_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predicated_sharing.dir/predicated_sharing.cpp.o"
+  "CMakeFiles/predicated_sharing.dir/predicated_sharing.cpp.o.d"
+  "predicated_sharing"
+  "predicated_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predicated_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_generating_set_trace "/root/repo/build/examples/generating_set_trace")
+set_tests_properties(example_generating_set_trace PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_mdlreduce "/root/repo/build/examples/mdlreduce" "--stats" "--classes" "/root/repo/machines/cydra5.mdl")
+set_tests_properties(example_mdlreduce PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_mdlreduce_cpp "/root/repo/build/examples/mdlreduce" "--emit=c++" "--namespace=fig1_tables")
+set_tests_properties(example_mdlreduce_cpp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_pipeline_scheduling "/root/repo/build/examples/pipeline_scheduling")
+set_tests_properties(example_pipeline_scheduling PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_block_boundaries "/root/repo/build/examples/block_boundaries")
+set_tests_properties(example_block_boundaries PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_predicated_sharing "/root/repo/build/examples/predicated_sharing")
+set_tests_properties(example_predicated_sharing PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_mdldiff "/root/repo/build/examples/mdldiff" "/root/repo/machines/fig1.mdl" "/root/repo/machines/fig1.mdl")
+set_tests_properties(example_mdldiff PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_imsched "/root/repo/build/examples/imsched" "--machine=cydra5")
+set_tests_properties(example_imsched PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;31;add_test;/root/repo/examples/CMakeLists.txt;0;")

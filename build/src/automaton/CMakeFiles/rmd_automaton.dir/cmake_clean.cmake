@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmd_automaton.dir/AutomatonQuery.cpp.o"
+  "CMakeFiles/rmd_automaton.dir/AutomatonQuery.cpp.o.d"
+  "CMakeFiles/rmd_automaton.dir/PipelineAutomaton.cpp.o"
+  "CMakeFiles/rmd_automaton.dir/PipelineAutomaton.cpp.o.d"
+  "librmd_automaton.a"
+  "librmd_automaton.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmd_automaton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flm/ForbiddenLatencyMatrix.cpp" "src/flm/CMakeFiles/rmd_flm.dir/ForbiddenLatencyMatrix.cpp.o" "gcc" "src/flm/CMakeFiles/rmd_flm.dir/ForbiddenLatencyMatrix.cpp.o.d"
+  "/root/repo/src/flm/LatencySet.cpp" "src/flm/CMakeFiles/rmd_flm.dir/LatencySet.cpp.o" "gcc" "src/flm/CMakeFiles/rmd_flm.dir/LatencySet.cpp.o.d"
+  "/root/repo/src/flm/MatrixDiff.cpp" "src/flm/CMakeFiles/rmd_flm.dir/MatrixDiff.cpp.o" "gcc" "src/flm/CMakeFiles/rmd_flm.dir/MatrixDiff.cpp.o.d"
+  "/root/repo/src/flm/OperationClasses.cpp" "src/flm/CMakeFiles/rmd_flm.dir/OperationClasses.cpp.o" "gcc" "src/flm/CMakeFiles/rmd_flm.dir/OperationClasses.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mdesc/CMakeFiles/rmd_mdesc.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rmd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

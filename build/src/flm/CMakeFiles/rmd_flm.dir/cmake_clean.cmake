@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmd_flm.dir/ForbiddenLatencyMatrix.cpp.o"
+  "CMakeFiles/rmd_flm.dir/ForbiddenLatencyMatrix.cpp.o.d"
+  "CMakeFiles/rmd_flm.dir/LatencySet.cpp.o"
+  "CMakeFiles/rmd_flm.dir/LatencySet.cpp.o.d"
+  "CMakeFiles/rmd_flm.dir/MatrixDiff.cpp.o"
+  "CMakeFiles/rmd_flm.dir/MatrixDiff.cpp.o.d"
+  "CMakeFiles/rmd_flm.dir/OperationClasses.cpp.o"
+  "CMakeFiles/rmd_flm.dir/OperationClasses.cpp.o.d"
+  "librmd_flm.a"
+  "librmd_flm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmd_flm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

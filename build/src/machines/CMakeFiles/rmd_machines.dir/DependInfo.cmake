@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machines/Alpha21064.cpp" "src/machines/CMakeFiles/rmd_machines.dir/Alpha21064.cpp.o" "gcc" "src/machines/CMakeFiles/rmd_machines.dir/Alpha21064.cpp.o.d"
+  "/root/repo/src/machines/Cydra5.cpp" "src/machines/CMakeFiles/rmd_machines.dir/Cydra5.cpp.o" "gcc" "src/machines/CMakeFiles/rmd_machines.dir/Cydra5.cpp.o.d"
+  "/root/repo/src/machines/Fig1Machine.cpp" "src/machines/CMakeFiles/rmd_machines.dir/Fig1Machine.cpp.o" "gcc" "src/machines/CMakeFiles/rmd_machines.dir/Fig1Machine.cpp.o.d"
+  "/root/repo/src/machines/M88100.cpp" "src/machines/CMakeFiles/rmd_machines.dir/M88100.cpp.o" "gcc" "src/machines/CMakeFiles/rmd_machines.dir/M88100.cpp.o.d"
+  "/root/repo/src/machines/MdlModel.cpp" "src/machines/CMakeFiles/rmd_machines.dir/MdlModel.cpp.o" "gcc" "src/machines/CMakeFiles/rmd_machines.dir/MdlModel.cpp.o.d"
+  "/root/repo/src/machines/MipsR3000.cpp" "src/machines/CMakeFiles/rmd_machines.dir/MipsR3000.cpp.o" "gcc" "src/machines/CMakeFiles/rmd_machines.dir/MipsR3000.cpp.o.d"
+  "/root/repo/src/machines/PlayDoh.cpp" "src/machines/CMakeFiles/rmd_machines.dir/PlayDoh.cpp.o" "gcc" "src/machines/CMakeFiles/rmd_machines.dir/PlayDoh.cpp.o.d"
+  "/root/repo/src/machines/ScaledVliw.cpp" "src/machines/CMakeFiles/rmd_machines.dir/ScaledVliw.cpp.o" "gcc" "src/machines/CMakeFiles/rmd_machines.dir/ScaledVliw.cpp.o.d"
+  "/root/repo/src/machines/ToyVliw.cpp" "src/machines/CMakeFiles/rmd_machines.dir/ToyVliw.cpp.o" "gcc" "src/machines/CMakeFiles/rmd_machines.dir/ToyVliw.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mdesc/CMakeFiles/rmd_mdesc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mdl/CMakeFiles/rmd_mdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rmd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmd_machines.dir/Alpha21064.cpp.o"
+  "CMakeFiles/rmd_machines.dir/Alpha21064.cpp.o.d"
+  "CMakeFiles/rmd_machines.dir/Cydra5.cpp.o"
+  "CMakeFiles/rmd_machines.dir/Cydra5.cpp.o.d"
+  "CMakeFiles/rmd_machines.dir/Fig1Machine.cpp.o"
+  "CMakeFiles/rmd_machines.dir/Fig1Machine.cpp.o.d"
+  "CMakeFiles/rmd_machines.dir/M88100.cpp.o"
+  "CMakeFiles/rmd_machines.dir/M88100.cpp.o.d"
+  "CMakeFiles/rmd_machines.dir/MdlModel.cpp.o"
+  "CMakeFiles/rmd_machines.dir/MdlModel.cpp.o.d"
+  "CMakeFiles/rmd_machines.dir/MipsR3000.cpp.o"
+  "CMakeFiles/rmd_machines.dir/MipsR3000.cpp.o.d"
+  "CMakeFiles/rmd_machines.dir/PlayDoh.cpp.o"
+  "CMakeFiles/rmd_machines.dir/PlayDoh.cpp.o.d"
+  "CMakeFiles/rmd_machines.dir/ScaledVliw.cpp.o"
+  "CMakeFiles/rmd_machines.dir/ScaledVliw.cpp.o.d"
+  "CMakeFiles/rmd_machines.dir/ToyVliw.cpp.o"
+  "CMakeFiles/rmd_machines.dir/ToyVliw.cpp.o.d"
+  "librmd_machines.a"
+  "librmd_machines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmd_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mdesc/Lint.cpp" "src/mdesc/CMakeFiles/rmd_mdesc.dir/Lint.cpp.o" "gcc" "src/mdesc/CMakeFiles/rmd_mdesc.dir/Lint.cpp.o.d"
+  "/root/repo/src/mdesc/MachineDescription.cpp" "src/mdesc/CMakeFiles/rmd_mdesc.dir/MachineDescription.cpp.o" "gcc" "src/mdesc/CMakeFiles/rmd_mdesc.dir/MachineDescription.cpp.o.d"
+  "/root/repo/src/mdesc/Render.cpp" "src/mdesc/CMakeFiles/rmd_mdesc.dir/Render.cpp.o" "gcc" "src/mdesc/CMakeFiles/rmd_mdesc.dir/Render.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/rmd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

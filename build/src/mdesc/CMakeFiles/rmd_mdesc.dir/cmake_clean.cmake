@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmd_mdesc.dir/Lint.cpp.o"
+  "CMakeFiles/rmd_mdesc.dir/Lint.cpp.o.d"
+  "CMakeFiles/rmd_mdesc.dir/MachineDescription.cpp.o"
+  "CMakeFiles/rmd_mdesc.dir/MachineDescription.cpp.o.d"
+  "CMakeFiles/rmd_mdesc.dir/Render.cpp.o"
+  "CMakeFiles/rmd_mdesc.dir/Render.cpp.o.d"
+  "librmd_mdesc.a"
+  "librmd_mdesc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmd_mdesc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmd_mdl.dir/CppGen.cpp.o"
+  "CMakeFiles/rmd_mdl.dir/CppGen.cpp.o.d"
+  "CMakeFiles/rmd_mdl.dir/Lexer.cpp.o"
+  "CMakeFiles/rmd_mdl.dir/Lexer.cpp.o.d"
+  "CMakeFiles/rmd_mdl.dir/Parser.cpp.o"
+  "CMakeFiles/rmd_mdl.dir/Parser.cpp.o.d"
+  "CMakeFiles/rmd_mdl.dir/Writer.cpp.o"
+  "CMakeFiles/rmd_mdl.dir/Writer.cpp.o.d"
+  "librmd_mdl.a"
+  "librmd_mdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmd_mdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

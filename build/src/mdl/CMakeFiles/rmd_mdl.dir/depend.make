@@ -1,0 +1,2 @@
+# Empty dependencies file for rmd_mdl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmd_query.dir/BitvectorQuery.cpp.o"
+  "CMakeFiles/rmd_query.dir/BitvectorQuery.cpp.o.d"
+  "CMakeFiles/rmd_query.dir/DiscreteQuery.cpp.o"
+  "CMakeFiles/rmd_query.dir/DiscreteQuery.cpp.o.d"
+  "CMakeFiles/rmd_query.dir/PredicatedQuery.cpp.o"
+  "CMakeFiles/rmd_query.dir/PredicatedQuery.cpp.o.d"
+  "CMakeFiles/rmd_query.dir/QueryModule.cpp.o"
+  "CMakeFiles/rmd_query.dir/QueryModule.cpp.o.d"
+  "librmd_query.a"
+  "librmd_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmd_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reduce/ExactCover.cpp" "src/reduce/CMakeFiles/rmd_reduce.dir/ExactCover.cpp.o" "gcc" "src/reduce/CMakeFiles/rmd_reduce.dir/ExactCover.cpp.o.d"
+  "/root/repo/src/reduce/Explain.cpp" "src/reduce/CMakeFiles/rmd_reduce.dir/Explain.cpp.o" "gcc" "src/reduce/CMakeFiles/rmd_reduce.dir/Explain.cpp.o.d"
+  "/root/repo/src/reduce/GeneratingSet.cpp" "src/reduce/CMakeFiles/rmd_reduce.dir/GeneratingSet.cpp.o" "gcc" "src/reduce/CMakeFiles/rmd_reduce.dir/GeneratingSet.cpp.o.d"
+  "/root/repo/src/reduce/Metrics.cpp" "src/reduce/CMakeFiles/rmd_reduce.dir/Metrics.cpp.o" "gcc" "src/reduce/CMakeFiles/rmd_reduce.dir/Metrics.cpp.o.d"
+  "/root/repo/src/reduce/Reduction.cpp" "src/reduce/CMakeFiles/rmd_reduce.dir/Reduction.cpp.o" "gcc" "src/reduce/CMakeFiles/rmd_reduce.dir/Reduction.cpp.o.d"
+  "/root/repo/src/reduce/Selection.cpp" "src/reduce/CMakeFiles/rmd_reduce.dir/Selection.cpp.o" "gcc" "src/reduce/CMakeFiles/rmd_reduce.dir/Selection.cpp.o.d"
+  "/root/repo/src/reduce/SynthesizedResource.cpp" "src/reduce/CMakeFiles/rmd_reduce.dir/SynthesizedResource.cpp.o" "gcc" "src/reduce/CMakeFiles/rmd_reduce.dir/SynthesizedResource.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flm/CMakeFiles/rmd_flm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mdesc/CMakeFiles/rmd_mdesc.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rmd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

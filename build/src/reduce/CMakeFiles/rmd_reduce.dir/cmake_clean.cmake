@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmd_reduce.dir/ExactCover.cpp.o"
+  "CMakeFiles/rmd_reduce.dir/ExactCover.cpp.o.d"
+  "CMakeFiles/rmd_reduce.dir/Explain.cpp.o"
+  "CMakeFiles/rmd_reduce.dir/Explain.cpp.o.d"
+  "CMakeFiles/rmd_reduce.dir/GeneratingSet.cpp.o"
+  "CMakeFiles/rmd_reduce.dir/GeneratingSet.cpp.o.d"
+  "CMakeFiles/rmd_reduce.dir/Metrics.cpp.o"
+  "CMakeFiles/rmd_reduce.dir/Metrics.cpp.o.d"
+  "CMakeFiles/rmd_reduce.dir/Reduction.cpp.o"
+  "CMakeFiles/rmd_reduce.dir/Reduction.cpp.o.d"
+  "CMakeFiles/rmd_reduce.dir/Selection.cpp.o"
+  "CMakeFiles/rmd_reduce.dir/Selection.cpp.o.d"
+  "CMakeFiles/rmd_reduce.dir/SynthesizedResource.cpp.o"
+  "CMakeFiles/rmd_reduce.dir/SynthesizedResource.cpp.o.d"
+  "librmd_reduce.a"
+  "librmd_reduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmd_reduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

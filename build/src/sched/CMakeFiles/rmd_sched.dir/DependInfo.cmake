@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/DepGraph.cpp" "src/sched/CMakeFiles/rmd_sched.dir/DepGraph.cpp.o" "gcc" "src/sched/CMakeFiles/rmd_sched.dir/DepGraph.cpp.o.d"
+  "/root/repo/src/sched/Expansion.cpp" "src/sched/CMakeFiles/rmd_sched.dir/Expansion.cpp.o" "gcc" "src/sched/CMakeFiles/rmd_sched.dir/Expansion.cpp.o.d"
+  "/root/repo/src/sched/GraphIO.cpp" "src/sched/CMakeFiles/rmd_sched.dir/GraphIO.cpp.o" "gcc" "src/sched/CMakeFiles/rmd_sched.dir/GraphIO.cpp.o.d"
+  "/root/repo/src/sched/IterativeModuloScheduler.cpp" "src/sched/CMakeFiles/rmd_sched.dir/IterativeModuloScheduler.cpp.o" "gcc" "src/sched/CMakeFiles/rmd_sched.dir/IterativeModuloScheduler.cpp.o.d"
+  "/root/repo/src/sched/ListScheduler.cpp" "src/sched/CMakeFiles/rmd_sched.dir/ListScheduler.cpp.o" "gcc" "src/sched/CMakeFiles/rmd_sched.dir/ListScheduler.cpp.o.d"
+  "/root/repo/src/sched/MII.cpp" "src/sched/CMakeFiles/rmd_sched.dir/MII.cpp.o" "gcc" "src/sched/CMakeFiles/rmd_sched.dir/MII.cpp.o.d"
+  "/root/repo/src/sched/OperationDrivenScheduler.cpp" "src/sched/CMakeFiles/rmd_sched.dir/OperationDrivenScheduler.cpp.o" "gcc" "src/sched/CMakeFiles/rmd_sched.dir/OperationDrivenScheduler.cpp.o.d"
+  "/root/repo/src/sched/ScheduleRender.cpp" "src/sched/CMakeFiles/rmd_sched.dir/ScheduleRender.cpp.o" "gcc" "src/sched/CMakeFiles/rmd_sched.dir/ScheduleRender.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/rmd_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/machines/CMakeFiles/rmd_machines.dir/DependInfo.cmake"
+  "/root/repo/build/src/mdl/CMakeFiles/rmd_mdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/reduce/CMakeFiles/rmd_reduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/flm/CMakeFiles/rmd_flm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mdesc/CMakeFiles/rmd_mdesc.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rmd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

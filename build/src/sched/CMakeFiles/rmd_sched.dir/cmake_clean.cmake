@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmd_sched.dir/DepGraph.cpp.o"
+  "CMakeFiles/rmd_sched.dir/DepGraph.cpp.o.d"
+  "CMakeFiles/rmd_sched.dir/Expansion.cpp.o"
+  "CMakeFiles/rmd_sched.dir/Expansion.cpp.o.d"
+  "CMakeFiles/rmd_sched.dir/GraphIO.cpp.o"
+  "CMakeFiles/rmd_sched.dir/GraphIO.cpp.o.d"
+  "CMakeFiles/rmd_sched.dir/IterativeModuloScheduler.cpp.o"
+  "CMakeFiles/rmd_sched.dir/IterativeModuloScheduler.cpp.o.d"
+  "CMakeFiles/rmd_sched.dir/ListScheduler.cpp.o"
+  "CMakeFiles/rmd_sched.dir/ListScheduler.cpp.o.d"
+  "CMakeFiles/rmd_sched.dir/MII.cpp.o"
+  "CMakeFiles/rmd_sched.dir/MII.cpp.o.d"
+  "CMakeFiles/rmd_sched.dir/OperationDrivenScheduler.cpp.o"
+  "CMakeFiles/rmd_sched.dir/OperationDrivenScheduler.cpp.o.d"
+  "CMakeFiles/rmd_sched.dir/ScheduleRender.cpp.o"
+  "CMakeFiles/rmd_sched.dir/ScheduleRender.cpp.o.d"
+  "librmd_sched.a"
+  "librmd_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmd_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

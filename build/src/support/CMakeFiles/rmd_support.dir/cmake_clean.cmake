@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmd_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/rmd_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/rmd_support.dir/TextTable.cpp.o"
+  "CMakeFiles/rmd_support.dir/TextTable.cpp.o.d"
+  "librmd_support.a"
+  "librmd_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmd_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmd_workload.dir/Corpus.cpp.o"
+  "CMakeFiles/rmd_workload.dir/Corpus.cpp.o.d"
+  "CMakeFiles/rmd_workload.dir/Experiment.cpp.o"
+  "CMakeFiles/rmd_workload.dir/Experiment.cpp.o.d"
+  "CMakeFiles/rmd_workload.dir/Kernels.cpp.o"
+  "CMakeFiles/rmd_workload.dir/Kernels.cpp.o.d"
+  "CMakeFiles/rmd_workload.dir/LoopGenerator.cpp.o"
+  "CMakeFiles/rmd_workload.dir/LoopGenerator.cpp.o.d"
+  "CMakeFiles/rmd_workload.dir/RoleGraph.cpp.o"
+  "CMakeFiles/rmd_workload.dir/RoleGraph.cpp.o.d"
+  "librmd_workload.a"
+  "librmd_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmd_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

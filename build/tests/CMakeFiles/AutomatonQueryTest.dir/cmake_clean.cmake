@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "AutomatonQueryTest"
+  "AutomatonQueryTest.pdb"
+  "AutomatonQueryTest[1]_tests.cmake"
+  "CMakeFiles/AutomatonQueryTest.dir/AutomatonQueryTest.cpp.o"
+  "CMakeFiles/AutomatonQueryTest.dir/AutomatonQueryTest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/AutomatonQueryTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "AutomatonTest"
+  "AutomatonTest.pdb"
+  "AutomatonTest[1]_tests.cmake"
+  "CMakeFiles/AutomatonTest.dir/AutomatonTest.cpp.o"
+  "CMakeFiles/AutomatonTest.dir/AutomatonTest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/AutomatonTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for AutomatonTest.
+# This may be replaced when dependencies are built.

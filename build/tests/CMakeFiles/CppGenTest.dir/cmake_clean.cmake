@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/CppGenTest.dir/CppGenTest.cpp.o"
+  "CMakeFiles/CppGenTest.dir/CppGenTest.cpp.o.d"
+  "CppGenTest"
+  "CppGenTest.pdb"
+  "CppGenTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/CppGenTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ExactCoverTest.dir/ExactCoverTest.cpp.o"
+  "CMakeFiles/ExactCoverTest.dir/ExactCoverTest.cpp.o.d"
+  "ExactCoverTest"
+  "ExactCoverTest.pdb"
+  "ExactCoverTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ExactCoverTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

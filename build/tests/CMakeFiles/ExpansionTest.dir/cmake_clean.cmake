@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ExpansionTest.dir/ExpansionTest.cpp.o"
+  "CMakeFiles/ExpansionTest.dir/ExpansionTest.cpp.o.d"
+  "ExpansionTest"
+  "ExpansionTest.pdb"
+  "ExpansionTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ExpansionTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ExperimentConsistencyTest.dir/ExperimentConsistencyTest.cpp.o"
+  "CMakeFiles/ExperimentConsistencyTest.dir/ExperimentConsistencyTest.cpp.o.d"
+  "ExperimentConsistencyTest"
+  "ExperimentConsistencyTest.pdb"
+  "ExperimentConsistencyTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ExperimentConsistencyTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ExplainTest.dir/ExplainTest.cpp.o"
+  "CMakeFiles/ExplainTest.dir/ExplainTest.cpp.o.d"
+  "ExplainTest"
+  "ExplainTest.pdb"
+  "ExplainTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ExplainTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ForbiddenLatencyTest.dir/ForbiddenLatencyTest.cpp.o"
+  "CMakeFiles/ForbiddenLatencyTest.dir/ForbiddenLatencyTest.cpp.o.d"
+  "ForbiddenLatencyTest"
+  "ForbiddenLatencyTest.pdb"
+  "ForbiddenLatencyTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ForbiddenLatencyTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/GeneratedHeaderTest.dir/GeneratedHeaderTest.cpp.o"
+  "CMakeFiles/GeneratedHeaderTest.dir/GeneratedHeaderTest.cpp.o.d"
+  "GeneratedHeaderTest"
+  "GeneratedHeaderTest.pdb"
+  "GeneratedHeaderTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/GeneratedHeaderTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/GeneratingSetTest.dir/GeneratingSetTest.cpp.o"
+  "CMakeFiles/GeneratingSetTest.dir/GeneratingSetTest.cpp.o.d"
+  "GeneratingSetTest"
+  "GeneratingSetTest.pdb"
+  "GeneratingSetTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/GeneratingSetTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

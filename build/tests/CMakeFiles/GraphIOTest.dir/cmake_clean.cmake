@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/GraphIOTest.dir/GraphIOTest.cpp.o"
+  "CMakeFiles/GraphIOTest.dir/GraphIOTest.cpp.o.d"
+  "GraphIOTest"
+  "GraphIOTest.pdb"
+  "GraphIOTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/GraphIOTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

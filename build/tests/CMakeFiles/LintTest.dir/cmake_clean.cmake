@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/LintTest.dir/LintTest.cpp.o"
+  "CMakeFiles/LintTest.dir/LintTest.cpp.o.d"
+  "LintTest"
+  "LintTest.pdb"
+  "LintTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/LintTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/MachineDescriptionTest.dir/MachineDescriptionTest.cpp.o"
+  "CMakeFiles/MachineDescriptionTest.dir/MachineDescriptionTest.cpp.o.d"
+  "MachineDescriptionTest"
+  "MachineDescriptionTest.pdb"
+  "MachineDescriptionTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/MachineDescriptionTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/MachineShapeTest.dir/MachineShapeTest.cpp.o"
+  "CMakeFiles/MachineShapeTest.dir/MachineShapeTest.cpp.o.d"
+  "MachineShapeTest"
+  "MachineShapeTest.pdb"
+  "MachineShapeTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/MachineShapeTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

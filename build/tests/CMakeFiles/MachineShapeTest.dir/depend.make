@@ -1,0 +1,2 @@
+# Empty dependencies file for MachineShapeTest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/MatrixDiffTest.dir/MatrixDiffTest.cpp.o"
+  "CMakeFiles/MatrixDiffTest.dir/MatrixDiffTest.cpp.o.d"
+  "MatrixDiffTest"
+  "MatrixDiffTest.pdb"
+  "MatrixDiffTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/MatrixDiffTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/MdlFuzzTest.dir/MdlFuzzTest.cpp.o"
+  "CMakeFiles/MdlFuzzTest.dir/MdlFuzzTest.cpp.o.d"
+  "MdlFuzzTest"
+  "MdlFuzzTest.pdb"
+  "MdlFuzzTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/MdlFuzzTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for MdlFuzzTest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/MdlModelTest.dir/MdlModelTest.cpp.o"
+  "CMakeFiles/MdlModelTest.dir/MdlModelTest.cpp.o.d"
+  "MdlModelTest"
+  "MdlModelTest.pdb"
+  "MdlModelTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/MdlModelTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

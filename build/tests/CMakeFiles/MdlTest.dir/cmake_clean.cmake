@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/MdlTest.dir/MdlTest.cpp.o"
+  "CMakeFiles/MdlTest.dir/MdlTest.cpp.o.d"
+  "MdlTest"
+  "MdlTest.pdb"
+  "MdlTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/MdlTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ModuloPropertyTest.dir/ModuloPropertyTest.cpp.o"
+  "CMakeFiles/ModuloPropertyTest.dir/ModuloPropertyTest.cpp.o.d"
+  "ModuloPropertyTest"
+  "ModuloPropertyTest.pdb"
+  "ModuloPropertyTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ModuloPropertyTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

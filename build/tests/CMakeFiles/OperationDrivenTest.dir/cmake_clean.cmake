@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/OperationDrivenTest.dir/OperationDrivenTest.cpp.o"
+  "CMakeFiles/OperationDrivenTest.dir/OperationDrivenTest.cpp.o.d"
+  "OperationDrivenTest"
+  "OperationDrivenTest.pdb"
+  "OperationDrivenTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/OperationDrivenTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

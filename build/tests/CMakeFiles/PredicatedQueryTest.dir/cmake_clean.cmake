@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/PredicatedQueryTest.dir/PredicatedQueryTest.cpp.o"
+  "CMakeFiles/PredicatedQueryTest.dir/PredicatedQueryTest.cpp.o.d"
+  "PredicatedQueryTest"
+  "PredicatedQueryTest.pdb"
+  "PredicatedQueryTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/PredicatedQueryTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

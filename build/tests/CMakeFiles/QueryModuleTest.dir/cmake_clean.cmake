@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/QueryModuleTest.dir/QueryModuleTest.cpp.o"
+  "CMakeFiles/QueryModuleTest.dir/QueryModuleTest.cpp.o.d"
+  "QueryModuleTest"
+  "QueryModuleTest.pdb"
+  "QueryModuleTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/QueryModuleTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for QueryModuleTest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ReductionTest.dir/ReductionTest.cpp.o"
+  "CMakeFiles/ReductionTest.dir/ReductionTest.cpp.o.d"
+  "ReductionTest"
+  "ReductionTest.pdb"
+  "ReductionTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ReductionTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ScheduleRenderTest.dir/ScheduleRenderTest.cpp.o"
+  "CMakeFiles/ScheduleRenderTest.dir/ScheduleRenderTest.cpp.o.d"
+  "ScheduleRenderTest"
+  "ScheduleRenderTest.pdb"
+  "ScheduleRenderTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ScheduleRenderTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SchedulerEdgeTest.dir/SchedulerEdgeTest.cpp.o"
+  "CMakeFiles/SchedulerEdgeTest.dir/SchedulerEdgeTest.cpp.o.d"
+  "SchedulerEdgeTest"
+  "SchedulerEdgeTest.pdb"
+  "SchedulerEdgeTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SchedulerEdgeTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SchedulerTest.dir/SchedulerTest.cpp.o"
+  "CMakeFiles/SchedulerTest.dir/SchedulerTest.cpp.o.d"
+  "SchedulerTest"
+  "SchedulerTest.pdb"
+  "SchedulerTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SchedulerTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SelectionTest.dir/SelectionTest.cpp.o"
+  "CMakeFiles/SelectionTest.dir/SelectionTest.cpp.o.d"
+  "SelectionTest"
+  "SelectionTest.pdb"
+  "SelectionTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SelectionTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
