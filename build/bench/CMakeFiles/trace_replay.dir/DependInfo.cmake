@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/trace_replay.cpp" "bench/CMakeFiles/trace_replay.dir/trace_replay.cpp.o" "gcc" "bench/CMakeFiles/trace_replay.dir/trace_replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/verify/CMakeFiles/rmd_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/reduce/CMakeFiles/rmd_reduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/machines/CMakeFiles/rmd_machines.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/rmd_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/flm/CMakeFiles/rmd_flm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mdl/CMakeFiles/rmd_mdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/mdesc/CMakeFiles/rmd_mdesc.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rmd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

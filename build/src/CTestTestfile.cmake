@@ -10,6 +10,7 @@ subdirs("flm")
 subdirs("reduce")
 subdirs("machines")
 subdirs("query")
+subdirs("verify")
 subdirs("automaton")
 subdirs("sched")
 subdirs("workload")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verify/QueryTrace.cpp" "src/verify/CMakeFiles/rmd_verify.dir/QueryTrace.cpp.o" "gcc" "src/verify/CMakeFiles/rmd_verify.dir/QueryTrace.cpp.o.d"
+  "/root/repo/src/verify/ShadowQueryModule.cpp" "src/verify/CMakeFiles/rmd_verify.dir/ShadowQueryModule.cpp.o" "gcc" "src/verify/CMakeFiles/rmd_verify.dir/ShadowQueryModule.cpp.o.d"
+  "/root/repo/src/verify/TraceFuzzer.cpp" "src/verify/CMakeFiles/rmd_verify.dir/TraceFuzzer.cpp.o" "gcc" "src/verify/CMakeFiles/rmd_verify.dir/TraceFuzzer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/rmd_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/reduce/CMakeFiles/rmd_reduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/flm/CMakeFiles/rmd_flm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mdesc/CMakeFiles/rmd_mdesc.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rmd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmd_verify.dir/QueryTrace.cpp.o"
+  "CMakeFiles/rmd_verify.dir/QueryTrace.cpp.o.d"
+  "CMakeFiles/rmd_verify.dir/ShadowQueryModule.cpp.o"
+  "CMakeFiles/rmd_verify.dir/ShadowQueryModule.cpp.o.d"
+  "CMakeFiles/rmd_verify.dir/TraceFuzzer.cpp.o"
+  "CMakeFiles/rmd_verify.dir/TraceFuzzer.cpp.o.d"
+  "librmd_verify.a"
+  "librmd_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmd_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

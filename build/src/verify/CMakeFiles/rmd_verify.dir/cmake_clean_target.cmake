@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librmd_verify.a"
+)

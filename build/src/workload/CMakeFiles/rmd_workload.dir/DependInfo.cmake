@@ -19,6 +19,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/sched/CMakeFiles/rmd_sched.dir/DependInfo.cmake"
   "/root/repo/build/src/machines/CMakeFiles/rmd_machines.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/rmd_verify.dir/DependInfo.cmake"
   "/root/repo/build/src/query/CMakeFiles/rmd_query.dir/DependInfo.cmake"
   "/root/repo/build/src/reduce/CMakeFiles/rmd_reduce.dir/DependInfo.cmake"
   "/root/repo/build/src/flm/CMakeFiles/rmd_flm.dir/DependInfo.cmake"

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/DifferentialQueryTest.dir/DifferentialQueryTest.cpp.o"
+  "CMakeFiles/DifferentialQueryTest.dir/DifferentialQueryTest.cpp.o.d"
+  "DifferentialQueryTest"
+  "DifferentialQueryTest.pdb"
+  "DifferentialQueryTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/DifferentialQueryTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

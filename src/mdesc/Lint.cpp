@@ -44,6 +44,23 @@ unsigned rmd::lintMachine(const MachineDescription &MD,
              std::to_string(RT.length()) +
              " cycles; automaton-based modules are limited to 64");
 
+    // Negative usage cycles. Usage cycles are issue-relative and must be
+    // nonnegative: a negative cycle yields a negative word offset in the
+    // bitvector reserved table, which wraps size_t indexing into a huge
+    // allocation instead of a contention answer.
+    for (const ReservationTable &RT : Op.Alternatives) {
+      for (const ResourceUsage &U : RT.usages())
+        if (U.Cycle < 0) {
+          Warn("operation '" + Op.Name + "' reserves " +
+               (U.Resource < MD.numResources()
+                    ? "'" + MD.resourceName(U.Resource) + "'"
+                    : "resource " + std::to_string(U.Resource)) +
+               " at negative cycle " + std::to_string(U.Cycle) +
+               "; usage cycles are issue-relative and must be nonnegative");
+          break;
+        }
+    }
+
     // Duplicate alternatives within one operation.
     std::set<std::vector<ResourceUsage>> Seen;
     for (const ReservationTable &RT : Op.Alternatives)

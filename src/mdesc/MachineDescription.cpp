@@ -11,8 +11,10 @@ ReservationTable::ReservationTable(std::vector<ResourceUsage> TheUsages)
     : Usages(std::move(TheUsages)) {
   std::sort(Usages.begin(), Usages.end());
   Usages.erase(std::unique(Usages.begin(), Usages.end()), Usages.end());
-  for ([[maybe_unused]] const ResourceUsage &U : Usages)
-    assert(U.Cycle >= 0 && "reservation table cycles must be nonnegative");
+  // Negative usage cycles are representable here (so validate() and
+  // lintMachine() can diagnose descriptions built from untrusted data)
+  // but invalid: addUsage() asserts, validate() errors, lintMachine()
+  // warns, and the bitvector query module rejects them at construction.
 }
 
 void ReservationTable::addUsage(ResourceId Resource, int Cycle) {

@@ -56,6 +56,11 @@ struct ResourceUsage {
 class ReservationTable {
 public:
   ReservationTable() = default;
+
+  /// Builds a table from an arbitrary usage list (sorted, deduplicated).
+  /// Unlike addUsage(), negative cycles are accepted so that descriptions
+  /// assembled from untrusted data stay representable; validate() reports
+  /// them as errors and lintMachine() warns about them.
   explicit ReservationTable(std::vector<ResourceUsage> TheUsages);
 
   /// Adds a usage of \p Resource at \p Cycle. Duplicate insertions are

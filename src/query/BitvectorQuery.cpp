@@ -48,6 +48,13 @@ void BitvectorQueryModule::buildPatterns() {
       // visited in per-word order after the bucketing below.
       std::vector<WordMask> &Out = Patterns[Op * NumPhases + Phase];
       for (const ResourceUsage &U : RT.usages()) {
+        // A negative usage cycle would produce a negative WordOffset here,
+        // and WordBase + WordOffset on a size_t base later wraps to a huge
+        // index that ensureWords() tries to allocate. Reject loudly;
+        // lintMachine() diagnoses such descriptions up front.
+        if (U.Cycle < 0)
+          fatalError("reservation table has a negative usage cycle; "
+                     "run lintMachine()/validate() on this description");
         int Word;
         unsigned Lane;
         if (Config.Mode == QueryConfig::Modulo) {
@@ -339,8 +346,12 @@ int BitvectorQueryModule::checkWithAlternatives(
   }
 
   // Union fast path: one pass over the OR of all alternatives' words. A
-  // clean union means every alternative fits; return the first.
-  ++Counters.CheckCalls;
+  // clean union means every alternative fits; return the first. The union
+  // pass is billed as exactly one check call, and only when it succeeds:
+  // on conflict the fallback below accounts each per-alternative attempt
+  // itself, so billing the union call too would charge 1+N calls for one
+  // answered query and skew Table 6. The words scanned are real work
+  // either way and always land in CheckUnits.
   size_t WordBase;
   unsigned Phase;
   locate(Cycle, WordBase, Phase);
@@ -353,8 +364,10 @@ int BitvectorQueryModule::checkWithAlternatives(
       break;
     }
   }
-  if (!Conflict)
+  if (!Conflict) {
+    ++Counters.CheckCalls;
     return 0;
+  }
 
   // Some alternative conflicts; fall back to individual checks.
   return ContentionQueryModule::checkWithAlternatives(Alternatives, Cycle);

@@ -47,6 +47,11 @@ public:
   /// first one is returned after testing only the union's words; otherwise
   /// falls back to per-alternative checks. Semantically identical to the
   /// base implementation.
+  ///
+  /// Accounting: a successful union pass is exactly one check call whose
+  /// units are the union words scanned. On conflict only the fallback's
+  /// per-alternative calls are billed (never 1+N calls for one query); the
+  /// speculative union words still count as CheckUnits.
   int checkWithAlternatives(const std::vector<OpId> &Alternatives,
                             int Cycle) override;
 

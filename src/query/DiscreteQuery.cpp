@@ -170,6 +170,7 @@ DiscreteQueryModule::Snapshot DiscreteQueryModule::snapshot() const {
   S.NumSlots = NumSlots;
   for (const auto &[Instance, Info] : Instances)
     S.Instances.emplace(Instance, std::make_pair(Info.Op, Info.Cycle));
+  S.Counters = Counters;
   return S;
 }
 
@@ -180,6 +181,9 @@ void DiscreteQueryModule::restore(const Snapshot &S) {
   Instances.clear();
   for (const auto &[Instance, Info] : S.Instances)
     Instances.emplace(Instance, InstanceInfo{Info.first, Info.second});
+  // Rewind accounting with the state: a restored module reports exactly
+  // the work of the branch that was kept (see Snapshot's doc comment).
+  Counters = S.Counters;
 }
 
 void DiscreteQueryModule::renderOccupancy(std::ostream &OS, int FirstCycle,

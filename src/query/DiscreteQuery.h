@@ -50,13 +50,17 @@ public:
 
   /// An opaque copy of the module's entire schedule state. Schedulers that
   /// explore alternatives (e.g. trying several II offsets before
-  /// committing) snapshot, mutate, and restore; counters are not part of
-  /// the snapshot (work stays accounted).
+  /// committing) snapshot, mutate, and restore. Work counters are part of
+  /// the snapshot: restore() rewinds them to the snapshot point, so a
+  /// discarded search branch leaves no trace in Table 6 accounting — the
+  /// caller that wants to bill abandoned work can accumulate() the
+  /// pre-restore counters explicitly.
   struct Snapshot {
     std::vector<uint8_t> Reserved;
     std::vector<InstanceId> Owner;
     size_t NumSlots = 0;
     std::unordered_map<InstanceId, std::pair<OpId, int>> Instances;
+    WorkCounters Counters;
   };
 
   Snapshot snapshot() const;

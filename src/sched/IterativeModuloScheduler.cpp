@@ -4,9 +4,11 @@
 
 #include "query/DiscreteQuery.h" // hasModuloSelfConflict
 #include "sched/MII.h"
+#include "verify/QueryTrace.h"
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
 
 using namespace rmd;
 
@@ -84,7 +86,7 @@ static bool attemptSchedule(const DepGraph &G, const QueryEnvironment &Env,
                             int II, uint64_t Budget, SchedulePriority Kind,
                             AttemptState &S, ModuloScheduleStats &Stats,
                             uint64_t &DecisionsThisAttempt,
-                            WorkCounters &Accum) {
+                            WorkCounters &Accum, QueryTraceLog *TraceLog) {
   const auto &Groups = *Env.Groups;
   const MachineDescription &Flat = *Env.FlatMD;
   size_t N = G.numNodes();
@@ -109,6 +111,17 @@ static bool attemptSchedule(const DepGraph &G, const QueryEnvironment &Env,
 
   std::unique_ptr<ContentionQueryModule> Module =
       Env.MakeModule(QueryConfig::modulo(II));
+
+  // Opt-in recording: one trace segment per II attempt, routed through a
+  // pass-through tracer. Counters stay on the inner module, so accounting
+  // (ChecksPerDecision, the accumulated totals) is unchanged by tracing.
+  std::optional<TracingQueryModule> Tracer;
+  if (TraceLog)
+    Tracer.emplace(*Module, TraceLog->beginSegment(Flat.name(),
+                                                   QueryConfig::modulo(II)));
+  ContentionQueryModule &Q =
+      TraceLog ? static_cast<ContentionQueryModule &>(*Tracer) : *Module;
+
   std::vector<long long> Height = computePriorities(G, II, Kind);
 
   S.Scheduled.assign(N, false);
@@ -150,7 +163,7 @@ static bool attemptSchedule(const DepGraph &G, const QueryEnvironment &Env,
     int Slot = -1;
     int Alt = -1;
     for (int T = Estart; T < Estart + II && Slot < 0; ++T) {
-      int Found = Module->checkWithAlternatives(Alts, T);
+      int Found = Q.checkWithAlternatives(Alts, T);
       if (Found >= 0) {
         Slot = T;
         Alt = Found;
@@ -162,8 +175,7 @@ static bool attemptSchedule(const DepGraph &G, const QueryEnvironment &Env,
       // (Section 8: the benchmark issues no plain assign calls); eviction
       // cannot happen here since check() just succeeded.
       std::vector<InstanceId> Evicted;
-      Module->assignAndFree(Alts[Alt], Slot, static_cast<InstanceId>(V),
-                            Evicted);
+      Q.assignAndFree(Alts[Alt], Slot, static_cast<InstanceId>(V), Evicted);
       assert(Evicted.empty() && "eviction on a checked-free slot");
     } else {
       // Forced placement (Rau): at Estart, or just past the previous
@@ -180,8 +192,7 @@ static bool attemptSchedule(const DepGraph &G, const QueryEnvironment &Env,
       assert(AltFeasible[V][Alt] && "no feasible alternative survived");
 
       std::vector<InstanceId> Evicted;
-      Module->assignAndFree(Alts[Alt], Slot, static_cast<InstanceId>(V),
-                            Evicted);
+      Q.assignAndFree(Alts[Alt], Slot, static_cast<InstanceId>(V), Evicted);
       if (!Evicted.empty())
         ++Stats.AssignFreeCallsWithEviction;
       for (InstanceId Victim : Evicted) {
@@ -205,10 +216,10 @@ static bool attemptSchedule(const DepGraph &G, const QueryEnvironment &Env,
         Module->counters().CheckCalls - ChecksBefore));
 
     // Unschedule operations whose dependences the new placement violates.
-    auto unschedule = [&](NodeId Q) {
-      Module->free(Groups[G.opOf(Q)][S.Alternative[Q]], S.Time[Q],
-                   static_cast<InstanceId>(Q));
-      S.Scheduled[Q] = false;
+    auto unschedule = [&](NodeId W) {
+      Q.free(Groups[G.opOf(W)][S.Alternative[W]], S.Time[W],
+             static_cast<InstanceId>(W));
+      S.Scheduled[W] = false;
       --NumScheduled;
       ++Stats.EvictedByDependence;
     };
@@ -251,7 +262,8 @@ rmd::moduloSchedule(const DepGraph &G, const MachineDescription &MD,
   for (int II = Result.Stats.MII; II <= MaxII; ++II) {
     uint64_t Decisions = 0;
     bool Ok = attemptSchedule(G, Env, II, Budget, Options.Priority, S,
-                              Result.Stats, Decisions, Result.Counters);
+                              Result.Stats, Decisions, Result.Counters,
+                              Options.TraceLog);
     Result.Stats.DecisionsPerAttempt.push_back(Decisions);
     if (Ok) {
       Result.Success = true;

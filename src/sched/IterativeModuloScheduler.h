@@ -31,6 +31,8 @@
 
 namespace rmd {
 
+struct QueryTraceLog;
+
 /// Everything the scheduler needs to talk to a contention query module:
 /// the expanded (single-alternative) description the module is built over,
 /// the alternative grouping, and the module factory. The flat description
@@ -66,6 +68,13 @@ struct ModuloScheduleOptions {
 
   /// Operation-selection priority.
   SchedulePriority Priority = SchedulePriority::Height;
+
+  /// When non-null, every query-module call of every II attempt is
+  /// recorded: one trace segment per attempt, configured modulo(II) and
+  /// labelled with the flat machine's name, replayable standalone against
+  /// any module built over an equivalent description
+  /// (verify/QueryTrace.h).
+  QueryTraceLog *TraceLog = nullptr;
 };
 
 /// Statistics of one scheduling run (Table 5 / Table 6 inputs).

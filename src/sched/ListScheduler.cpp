@@ -2,7 +2,10 @@
 
 #include "sched/ListScheduler.h"
 
+#include "verify/QueryTrace.h"
+
 #include <algorithm>
+#include <optional>
 
 using namespace rmd;
 
@@ -10,8 +13,17 @@ ListScheduleResult
 rmd::listSchedule(const DepGraph &G,
                   const std::vector<std::vector<OpId>> &Groups,
                   ContentionQueryModule &Module,
-                  const std::vector<DanglingOp> &Dangling) {
+                  const std::vector<DanglingOp> &Dangling,
+                  QueryTrace *Trace) {
   assert(G.isAcyclic() && "list scheduling requires an acyclic graph");
+
+  // Opt-in recording: route every query through a tracer. Counters mirror
+  // the inner module's, so accounting is unchanged by tracing.
+  std::optional<TracingQueryModule> Tracer;
+  if (Trace)
+    Tracer.emplace(Module, *Trace);
+  ContentionQueryModule &Q =
+      Trace ? static_cast<ContentionQueryModule &>(*Tracer) : Module;
 
   ListScheduleResult Result;
   Result.Time.assign(G.numNodes(), -1);
@@ -21,7 +33,7 @@ rmd::listSchedule(const DepGraph &G,
   // live below -1 so they can never collide with node instances.
   InstanceId DanglingId = -2;
   for (const DanglingOp &D : Dangling)
-    Module.assign(D.FlatOp, D.Cycle, DanglingId--);
+    Q.assign(D.FlatOp, D.Cycle, DanglingId--);
 
   // Critical-path heights over delays (resource-free).
   std::vector<int> Height(G.numNodes(), 0);
@@ -64,14 +76,14 @@ rmd::listSchedule(const DepGraph &G,
     // An empty machine would loop forever; bound the scan generously.
     int Horizon = Estart + 4096;
     for (; Cycle <= Horizon; ++Cycle) {
-      Alt = Module.checkWithAlternatives(Alternatives, Cycle);
+      Alt = Q.checkWithAlternatives(Alternatives, Cycle);
       if (Alt >= 0)
         break;
     }
     if (Alt < 0)
       return Result; // Success stays false
 
-    Module.assign(Alternatives[Alt], Cycle, static_cast<InstanceId>(Best));
+    Q.assign(Alternatives[Alt], Cycle, static_cast<InstanceId>(Best));
     Result.Time[Best] = Cycle;
     Result.Alternative[Best] = Alt;
     Result.Length = std::max(Result.Length, Cycle + 1);

@@ -21,6 +21,8 @@
 
 namespace rmd {
 
+struct QueryTrace;
+
 /// The outcome of list scheduling.
 struct ListScheduleResult {
   bool Success = false;
@@ -46,10 +48,16 @@ struct DanglingOp {
 /// ids to flat alternative ids (ExpandedMachine::Groups). \p Dangling
 /// reservations are assigned before scheduling starts; the module's
 /// QueryConfig::MinCycle must admit their cycles.
+///
+/// When \p Trace is non-null, every query-module call this run makes
+/// (including the dangling-reservation seeding) is appended to it; the
+/// caller sets the trace's Config to the module's addressing so the stream
+/// can be replayed standalone (verify/QueryTrace.h).
 ListScheduleResult
 listSchedule(const DepGraph &G, const std::vector<std::vector<OpId>> &Groups,
              ContentionQueryModule &Module,
-             const std::vector<DanglingOp> &Dangling = {});
+             const std::vector<DanglingOp> &Dangling = {},
+             QueryTrace *Trace = nullptr);
 
 } // namespace rmd
 

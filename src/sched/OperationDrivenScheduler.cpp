@@ -2,8 +2,11 @@
 
 #include "sched/OperationDrivenScheduler.h"
 
+#include "verify/QueryTrace.h"
+
 #include <algorithm>
 #include <cassert>
+#include <optional>
 #include <unordered_map>
 
 using namespace rmd;
@@ -28,8 +31,16 @@ OperationDrivenResult rmd::operationDrivenSchedule(
     const DepGraph &G, const std::vector<std::vector<OpId>> &Groups,
     const MachineDescription &FlatMD, ContentionQueryModule &Module,
     const std::vector<DanglingOp> &Dangling,
-    const OperationDrivenOptions &Options) {
+    const OperationDrivenOptions &Options, QueryTrace *Trace) {
   assert(G.isAcyclic() && "operation-driven scheduling is for basic blocks");
+
+  // Opt-in recording: route every query through a tracer. Counters mirror
+  // the inner module's, so accounting is unchanged by tracing.
+  std::optional<TracingQueryModule> Tracer;
+  if (Trace)
+    Tracer.emplace(Module, *Trace);
+  ContentionQueryModule &Q =
+      Trace ? static_cast<ContentionQueryModule &>(*Tracer) : Module;
 
   OperationDrivenResult Result;
   size_t N = G.numNodes();
@@ -42,7 +53,7 @@ OperationDrivenResult rmd::operationDrivenSchedule(
   std::unordered_map<InstanceId, DanglingOp> DanglingInfo;
   InstanceId DanglingId = -2;
   for (const DanglingOp &D : Dangling) {
-    Module.assign(D.FlatOp, D.Cycle, DanglingId);
+    Q.assign(D.FlatOp, D.Cycle, DanglingId);
     DanglingInfo.emplace(DanglingId, D);
     --DanglingId;
   }
@@ -87,7 +98,7 @@ OperationDrivenResult rmd::operationDrivenSchedule(
     int Slot = -1;
     int Alt = -1;
     for (int T = Estart; T <= Lstart && Slot < 0; ++T) {
-      int Found = Module.checkWithAlternatives(Alts, T);
+      int Found = Q.checkWithAlternatives(Alts, T);
       if (Found >= 0) {
         Slot = T;
         Alt = Found;
@@ -95,7 +106,7 @@ OperationDrivenResult rmd::operationDrivenSchedule(
     }
 
     if (Slot >= 0) {
-      Module.assign(Alts[Alt], Slot, static_cast<InstanceId>(V));
+      Q.assign(Alts[Alt], Slot, static_cast<InstanceId>(V));
     } else if (Evictions[V] < Options.MaxEvictions) {
       // Forced placement at Estart: evict whoever holds the resources.
       // Predecessor residue is immutable: if a forced slot tramples a
@@ -104,8 +115,8 @@ OperationDrivenResult rmd::operationDrivenSchedule(
       Alt = 0;
       for (;;) {
         std::vector<InstanceId> Evicted;
-        Module.assignAndFree(Alts[Alt], Slot, static_cast<InstanceId>(V),
-                             Evicted);
+        Q.assignAndFree(Alts[Alt], Slot, static_cast<InstanceId>(V),
+                        Evicted);
         bool HitDangling = false;
         for (InstanceId Victim : Evicted) {
           if (Victim < -1) {
@@ -122,11 +133,11 @@ OperationDrivenResult rmd::operationDrivenSchedule(
           break;
         // Undo: release this placement, restore trampled residue, retry
         // one cycle later.
-        Module.free(Alts[Alt], Slot, static_cast<InstanceId>(V));
+        Q.free(Alts[Alt], Slot, static_cast<InstanceId>(V));
         for (InstanceId Victim : Evicted)
           if (Victim < -1) {
             const DanglingOp &D = DanglingInfo.at(Victim);
-            Module.assign(D.FlatOp, D.Cycle, Victim);
+            Q.assign(D.FlatOp, D.Cycle, Victim);
           }
         ++Slot;
       }
@@ -135,11 +146,11 @@ OperationDrivenResult rmd::operationDrivenSchedule(
       // past the window (always exists in a linear schedule).
       Alt = -1;
       for (int T = std::max(Estart, Lstart + 1); Alt < 0; ++T) {
-        Alt = Module.checkWithAlternatives(Alts, T);
+        Alt = Q.checkWithAlternatives(Alts, T);
         if (Alt >= 0)
           Slot = T;
       }
-      Module.assign(Alts[Alt], Slot, static_cast<InstanceId>(V));
+      Q.assign(Alts[Alt], Slot, static_cast<InstanceId>(V));
     }
 
     Result.Time[V] = Slot;
@@ -150,12 +161,12 @@ OperationDrivenResult rmd::operationDrivenSchedule(
 
     // Unschedule neighbours whose dependence constraints the placement
     // violates; they re-enter the worklist.
-    auto unschedule = [&](NodeId Q) {
-      Module.free(Groups[G.opOf(Q)][Result.Alternative[Q]], Result.Time[Q],
-                  static_cast<InstanceId>(Q));
-      Scheduled[Q] = false;
+    auto unschedule = [&](NodeId W) {
+      Q.free(Groups[G.opOf(W)][Result.Alternative[W]], Result.Time[W],
+             static_cast<InstanceId>(W));
+      Scheduled[W] = false;
       --NumScheduled;
-      ++Evictions[Q];
+      ++Evictions[W];
     };
     for (uint32_t EIdx : G.succEdges(V)) {
       const DepEdge &E = G.edges()[EIdx];

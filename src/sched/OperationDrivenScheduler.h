@@ -34,6 +34,8 @@
 
 namespace rmd {
 
+struct QueryTrace;
+
 /// Tuning knobs.
 struct OperationDrivenOptions {
   /// How many times one operation may be evicted before its next placement
@@ -61,13 +63,19 @@ struct OperationDrivenResult {
 /// bounded eviction. \p Groups maps original ops to flat alternatives.
 /// \p Dangling seeds predecessor residue (requires a module window
 /// admitting their negative cycles).
+///
+/// When \p Trace is non-null, every query-module call (seeding, probing,
+/// forced placements, undo traffic) is recorded for standalone replay
+/// (verify/QueryTrace.h); the caller sets the trace's Config to the
+/// module's addressing.
 OperationDrivenResult
 operationDrivenSchedule(const DepGraph &G,
                         const std::vector<std::vector<OpId>> &Groups,
                         const MachineDescription &FlatMD,
                         ContentionQueryModule &Module,
                         const std::vector<DanglingOp> &Dangling = {},
-                        const OperationDrivenOptions &Options = {});
+                        const OperationDrivenOptions &Options = {},
+                        QueryTrace *Trace = nullptr);
 
 /// Schedules a straight-line sequence of blocks, propagating each block's
 /// dangling resource requirements into the next (Section 1's boundary

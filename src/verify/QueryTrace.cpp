@@ -1,0 +1,290 @@
+//===- verify/QueryTrace.cpp ----------------------------------------------===//
+
+#include "verify/QueryTrace.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+using namespace rmd;
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//
+// Line-oriented text, one call per line. Compact single-letter opcodes keep
+// multi-megabyte scheduler traces greppable and diffable:
+//
+//   segment <machine> linear <MinCycle> | modulo <II>
+//   c <op> <cycle> <answer>                      check
+//   a <op> <cycle> <instance>                    assign
+//   f <op> <cycle> <instance>                    free
+//   x <op> <cycle> <instance> <n> <evicted...>   assign&free
+//   w <cycle> <answer> <n> <alternatives...>     check-with-alternatives
+//   r                                            reset
+//   end
+//===----------------------------------------------------------------------===//
+
+void QueryTrace::serialize(std::ostream &OS) const {
+  OS << "segment " << (Machine.empty() ? "-" : Machine) << ' ';
+  if (Config.Mode == QueryConfig::Modulo)
+    OS << "modulo " << Config.ModuloII << '\n';
+  else
+    OS << "linear " << Config.MinCycle << '\n';
+
+  for (const QueryTraceRecord &R : Records) {
+    switch (R.Call) {
+    case QueryTraceRecord::Check:
+      OS << "c " << R.Op << ' ' << R.Cycle << ' ' << R.Answer << '\n';
+      break;
+    case QueryTraceRecord::Assign:
+      OS << "a " << R.Op << ' ' << R.Cycle << ' ' << R.Instance << '\n';
+      break;
+    case QueryTraceRecord::Free:
+      OS << "f " << R.Op << ' ' << R.Cycle << ' ' << R.Instance << '\n';
+      break;
+    case QueryTraceRecord::AssignFree:
+      OS << "x " << R.Op << ' ' << R.Cycle << ' ' << R.Instance << ' '
+         << R.Evicted.size();
+      for (InstanceId E : R.Evicted)
+        OS << ' ' << E;
+      OS << '\n';
+      break;
+    case QueryTraceRecord::CheckAlternatives:
+      OS << "w " << R.Cycle << ' ' << R.Answer << ' '
+         << R.Alternatives.size();
+      for (OpId A : R.Alternatives)
+        OS << ' ' << A;
+      OS << '\n';
+      break;
+    case QueryTraceRecord::Reset:
+      OS << "r\n";
+      break;
+    }
+  }
+  OS << "end\n";
+}
+
+QueryTrace &QueryTraceLog::beginSegment(std::string Machine,
+                                        QueryConfig Config) {
+  Segments.emplace_back();
+  Segments.back().Machine = std::move(Machine);
+  Segments.back().Config = Config;
+  return Segments.back();
+}
+
+void QueryTraceLog::serialize(std::ostream &OS) const {
+  for (const QueryTrace &T : Segments)
+    T.serialize(OS);
+}
+
+bool QueryTraceLog::deserialize(std::istream &IS, QueryTraceLog &Out,
+                                std::string *Error) {
+  auto Fail = [&](const std::string &Message, size_t LineNo) {
+    if (Error)
+      *Error = "line " + std::to_string(LineNo) + ": " + Message;
+    return false;
+  };
+
+  Out.Segments.clear();
+  QueryTrace *Current = nullptr;
+  std::string Line;
+  size_t LineNo = 0;
+  while (std::getline(IS, Line)) {
+    ++LineNo;
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    std::istringstream LS(Line);
+    std::string Tag;
+    LS >> Tag;
+
+    if (Tag == "segment") {
+      std::string Machine, Mode;
+      int Value;
+      if (!(LS >> Machine >> Mode >> Value))
+        return Fail("malformed segment header", LineNo);
+      QueryConfig Config;
+      if (Mode == "modulo") {
+        if (Value <= 0)
+          return Fail("modulo segment requires a positive II", LineNo);
+        Config = QueryConfig::modulo(Value);
+      } else if (Mode == "linear") {
+        Config = QueryConfig::linear(Value);
+      } else {
+        return Fail("unknown addressing mode '" + Mode + "'", LineNo);
+      }
+      Current = &Out.beginSegment(Machine, Config);
+      continue;
+    }
+    if (!Current)
+      return Fail("record before any segment header", LineNo);
+    if (Tag == "end") {
+      Current = nullptr;
+      continue;
+    }
+
+    QueryTraceRecord R;
+    bool Ok = true;
+    if (Tag == "c") {
+      R.Call = QueryTraceRecord::Check;
+      Ok = static_cast<bool>(LS >> R.Op >> R.Cycle >> R.Answer);
+    } else if (Tag == "a") {
+      R.Call = QueryTraceRecord::Assign;
+      Ok = static_cast<bool>(LS >> R.Op >> R.Cycle >> R.Instance);
+    } else if (Tag == "f") {
+      R.Call = QueryTraceRecord::Free;
+      Ok = static_cast<bool>(LS >> R.Op >> R.Cycle >> R.Instance);
+    } else if (Tag == "x") {
+      R.Call = QueryTraceRecord::AssignFree;
+      size_t N = 0;
+      Ok = static_cast<bool>(LS >> R.Op >> R.Cycle >> R.Instance >> N);
+      for (size_t I = 0; Ok && I < N; ++I) {
+        InstanceId E;
+        Ok = static_cast<bool>(LS >> E);
+        R.Evicted.push_back(E);
+      }
+    } else if (Tag == "w") {
+      R.Call = QueryTraceRecord::CheckAlternatives;
+      size_t N = 0;
+      Ok = static_cast<bool>(LS >> R.Cycle >> R.Answer >> N);
+      for (size_t I = 0; Ok && I < N; ++I) {
+        OpId A;
+        Ok = static_cast<bool>(LS >> A);
+        R.Alternatives.push_back(A);
+      }
+    } else if (Tag == "r") {
+      R.Call = QueryTraceRecord::Reset;
+    } else {
+      return Fail("unknown record tag '" + Tag + "'", LineNo);
+    }
+    if (!Ok)
+      return Fail("malformed '" + Tag + "' record", LineNo);
+    Current->Records.push_back(std::move(R));
+  }
+  if (Current)
+    return Fail("unterminated segment (missing 'end')", LineNo);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Replay
+//===----------------------------------------------------------------------===//
+
+ReplayResult rmd::replayTrace(const QueryTrace &Trace,
+                              ContentionQueryModule &Module,
+                              bool CompareAnswers) {
+  ReplayResult Result;
+  for (const QueryTraceRecord &R : Trace.Records) {
+    ++Result.Calls;
+    switch (R.Call) {
+    case QueryTraceRecord::Check: {
+      bool Got = Module.check(R.Op, R.Cycle);
+      if (CompareAnswers && Got != (R.Answer != 0))
+        ++Result.AnswerMismatches;
+      break;
+    }
+    case QueryTraceRecord::Assign:
+      Module.assign(R.Op, R.Cycle, R.Instance);
+      break;
+    case QueryTraceRecord::Free:
+      Module.free(R.Op, R.Cycle, R.Instance);
+      break;
+    case QueryTraceRecord::AssignFree: {
+      std::vector<InstanceId> Evicted;
+      Module.assignAndFree(R.Op, R.Cycle, R.Instance, Evicted);
+      if (CompareAnswers) {
+        std::sort(Evicted.begin(), Evicted.end());
+        if (Evicted != R.Evicted)
+          ++Result.AnswerMismatches;
+      }
+      break;
+    }
+    case QueryTraceRecord::CheckAlternatives: {
+      int Got = Module.checkWithAlternatives(R.Alternatives, R.Cycle);
+      if (CompareAnswers && Got != R.Answer)
+        ++Result.AnswerMismatches;
+      break;
+    }
+    case QueryTraceRecord::Reset:
+      Module.reset();
+      break;
+    }
+  }
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// TracingQueryModule
+//===----------------------------------------------------------------------===//
+
+bool TracingQueryModule::check(OpId Op, int Cycle) {
+  bool Answer = Inner.check(Op, Cycle);
+  QueryTraceRecord R;
+  R.Call = QueryTraceRecord::Check;
+  R.Op = Op;
+  R.Cycle = Cycle;
+  R.Answer = Answer ? 1 : 0;
+  Out.Records.push_back(std::move(R));
+  sync();
+  return Answer;
+}
+
+void TracingQueryModule::assign(OpId Op, int Cycle, InstanceId Instance) {
+  Inner.assign(Op, Cycle, Instance);
+  QueryTraceRecord R;
+  R.Call = QueryTraceRecord::Assign;
+  R.Op = Op;
+  R.Cycle = Cycle;
+  R.Instance = Instance;
+  Out.Records.push_back(std::move(R));
+  sync();
+}
+
+void TracingQueryModule::free(OpId Op, int Cycle, InstanceId Instance) {
+  Inner.free(Op, Cycle, Instance);
+  QueryTraceRecord R;
+  R.Call = QueryTraceRecord::Free;
+  R.Op = Op;
+  R.Cycle = Cycle;
+  R.Instance = Instance;
+  Out.Records.push_back(std::move(R));
+  sync();
+}
+
+void TracingQueryModule::assignAndFree(OpId Op, int Cycle,
+                                       InstanceId Instance,
+                                       std::vector<InstanceId> &Evicted) {
+  size_t Before = Evicted.size();
+  Inner.assignAndFree(Op, Cycle, Instance, Evicted);
+  QueryTraceRecord R;
+  R.Call = QueryTraceRecord::AssignFree;
+  R.Op = Op;
+  R.Cycle = Cycle;
+  R.Instance = Instance;
+  R.Evicted.assign(Evicted.begin() + static_cast<ptrdiff_t>(Before),
+                   Evicted.end());
+  std::sort(R.Evicted.begin(), R.Evicted.end());
+  Out.Records.push_back(std::move(R));
+  sync();
+}
+
+void TracingQueryModule::reset() {
+  Inner.reset();
+  QueryTraceRecord R;
+  R.Call = QueryTraceRecord::Reset;
+  Out.Records.push_back(std::move(R));
+  sync();
+}
+
+int TracingQueryModule::checkWithAlternatives(
+    const std::vector<OpId> &Alternatives, int Cycle) {
+  int Answer = Inner.checkWithAlternatives(Alternatives, Cycle);
+  QueryTraceRecord R;
+  R.Call = QueryTraceRecord::CheckAlternatives;
+  R.Cycle = Cycle;
+  R.Alternatives = Alternatives;
+  R.Answer = Answer;
+  Out.Records.push_back(std::move(R));
+  sync();
+  return Answer;
+}

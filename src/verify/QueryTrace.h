@@ -1,0 +1,136 @@
+//===- verify/QueryTrace.h - Query-module call recording -------*- C++ -*-===//
+///
+/// \file
+/// A compact serialized log of contention-query-module calls, with a
+/// recorder (TracingQueryModule) and a standalone replayer. Traces are the
+/// currency of the differential-verification harness: a scheduler records
+/// its exact query stream once, and the stream is replayed against any
+/// other module/description pairing — for bug repros (replay the failing
+/// stream against a shadowed pair), for benchmarking (replay a real
+/// scheduler workload against a candidate representation without paying
+/// for the scheduler), and for regression tests.
+///
+/// The paper's central claim makes this sound: every FLM-preserving
+/// description answers every query stream identically, so any recorded
+/// trace is valid against any equivalent description.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMD_VERIFY_QUERYTRACE_H
+#define RMD_VERIFY_QUERYTRACE_H
+
+#include "query/QueryModule.h"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rmd {
+
+/// One recorded query-module call, with its recorded answer.
+struct QueryTraceRecord {
+  enum Kind : uint8_t {
+    Check,             ///< check(Op, Cycle) -> Answer (0/1)
+    Assign,            ///< assign(Op, Cycle, Instance)
+    Free,              ///< free(Op, Cycle, Instance)
+    AssignFree,        ///< assignAndFree(...) -> Evicted
+    CheckAlternatives, ///< checkWithAlternatives(Alternatives, Cycle) -> Answer
+    Reset,             ///< reset()
+  };
+
+  Kind Call = Check;
+  OpId Op = 0;
+  int Cycle = 0;
+  InstanceId Instance = 0;
+  /// CheckAlternatives only: the flat alternative ids queried.
+  std::vector<OpId> Alternatives;
+  /// Recorded answer: Check -> 0/1; CheckAlternatives -> index or -1.
+  int Answer = 0;
+  /// AssignFree only: evicted instance ids, sorted ascending.
+  std::vector<InstanceId> Evicted;
+};
+
+/// The query-call log of one module configuration (one addressing mode and
+/// window). Schedulers emit one QueryTrace per module they construct.
+struct QueryTrace {
+  /// Informational label (machine name); must not contain whitespace.
+  std::string Machine = "-";
+  /// Addressing of the module that was driven; a replayer constructs its
+  /// module from this.
+  QueryConfig Config;
+  std::vector<QueryTraceRecord> Records;
+
+  void serialize(std::ostream &OS) const;
+};
+
+/// A multi-segment trace log: one segment per module the traced run
+/// constructed (e.g. one per II attempt of the Iterative Modulo Scheduler).
+struct QueryTraceLog {
+  std::vector<QueryTrace> Segments;
+
+  /// Starts a new segment and returns it (stable until the next call).
+  QueryTrace &beginSegment(std::string Machine, QueryConfig Config);
+
+  void serialize(std::ostream &OS) const;
+
+  /// Parses a log produced by serialize(). Returns false and fills
+  /// \p Error (when non-null) on malformed input.
+  static bool deserialize(std::istream &IS, QueryTraceLog &Out,
+                          std::string *Error = nullptr);
+
+  size_t totalRecords() const {
+    size_t N = 0;
+    for (const QueryTrace &T : Segments)
+      N += T.Records.size();
+    return N;
+  }
+};
+
+/// Outcome of replaying one trace segment.
+struct ReplayResult {
+  uint64_t Calls = 0;
+  /// Calls whose live answer differed from the recorded one (only counted
+  /// when answer comparison is enabled). Any nonzero value means the module
+  /// under replay is *not* equivalent to the recorded one.
+  uint64_t AnswerMismatches = 0;
+};
+
+/// Replays \p Trace against \p Module, which must be configured compatibly
+/// with Trace.Config (same mode/II/window). When \p CompareAnswers is set,
+/// check and check-with-alternatives answers and evicted sets are compared
+/// against the recorded ones. Replaying against a non-equivalent
+/// description may abort inside the module (e.g. assign over a reserved
+/// entry) — by design: the recorded stream is only meaningful against an
+/// equivalent description.
+ReplayResult replayTrace(const QueryTrace &Trace,
+                         ContentionQueryModule &Module,
+                         bool CompareAnswers = true);
+
+/// A pass-through ContentionQueryModule that appends every call (with its
+/// answer) to a QueryTrace. Counters mirror the inner module's, so traced
+/// schedulers account work exactly as untraced ones.
+class TracingQueryModule : public ContentionQueryModule {
+public:
+  /// Both \p Inner and \p Out must outlive this module.
+  TracingQueryModule(ContentionQueryModule &Inner, QueryTrace &Out)
+      : Inner(Inner), Out(Out) {}
+
+  bool check(OpId Op, int Cycle) override;
+  void assign(OpId Op, int Cycle, InstanceId Instance) override;
+  void free(OpId Op, int Cycle, InstanceId Instance) override;
+  void assignAndFree(OpId Op, int Cycle, InstanceId Instance,
+                     std::vector<InstanceId> &Evicted) override;
+  void reset() override;
+  int checkWithAlternatives(const std::vector<OpId> &Alternatives,
+                            int Cycle) override;
+
+private:
+  void sync() { Counters = Inner.counters(); }
+
+  ContentionQueryModule &Inner;
+  QueryTrace &Out;
+};
+
+} // namespace rmd
+
+#endif // RMD_VERIFY_QUERYTRACE_H

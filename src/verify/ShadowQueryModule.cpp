@@ -1,0 +1,255 @@
+//===- verify/ShadowQueryModule.cpp ---------------------------------------===//
+
+#include "verify/ShadowQueryModule.h"
+
+#include "query/DiscreteQuery.h"
+#include "support/FatalError.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+using namespace rmd;
+
+ShadowQueryModule::ShadowQueryModule(
+    std::unique_ptr<ContentionQueryModule> Reference,
+    std::unique_ptr<ContentionQueryModule> Candidate, ShadowOptions TheOptions)
+    : Ref(std::move(Reference)), Cand(std::move(Candidate)),
+      Options(std::move(TheOptions)) {
+  assert(Ref && Cand && "shadow module requires two inner modules");
+  if (!Options.OnDivergence)
+    Options.OnDivergence = [](const std::string &Report) {
+      fatalError(Report.c_str());
+    };
+}
+
+ShadowQueryModule::~ShadowQueryModule() = default;
+
+//===----------------------------------------------------------------------===//
+// Divergence reporting
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Renders the expected occupancy of \p MD rebuilt from \p Live over
+/// [\p Lo, \p Hi]. Instances that no longer fit (the tell-tale of a corrupt
+/// live set) are reported instead of asserting mid-report.
+void renderExpectedOccupancy(
+    std::ostream &OS, const MachineDescription &MD, const QueryConfig &Config,
+    const std::map<InstanceId, std::pair<OpId, int>> &Live, int Lo, int Hi) {
+  DiscreteQueryModule View(MD, Config);
+  for (const auto &[Instance, Placement] : Live) {
+    if (!View.check(Placement.first, Placement.second)) {
+      OS << "  !! instance #" << Instance << " ("
+         << MD.operation(Placement.first).Name << "@" << Placement.second
+         << ") no longer fits this description's table\n";
+      continue;
+    }
+    View.assign(Placement.first, Placement.second, Instance);
+  }
+  View.renderOccupancy(OS, Lo, Hi);
+}
+
+} // namespace
+
+std::string ShadowQueryModule::renderStateDiff(int AroundCycle) const {
+  std::ostringstream OS;
+
+  OS << "live instances (" << Live.size() << "):";
+  for (const auto &[Instance, Placement] : Live) {
+    OS << " #" << Instance << "=";
+    if (Options.RefMD)
+      OS << Options.RefMD->operation(Placement.first).Name;
+    else
+      OS << "op" << Placement.first;
+    OS << "@" << Placement.second;
+  }
+  OS << "\n";
+
+  // Rendering window: the whole MRT in modulo mode, a radius around the
+  // divergent cycle in linear mode (clipped to the addressable window).
+  int Lo, Hi;
+  if (Options.Config.Mode == QueryConfig::Modulo) {
+    Lo = 0;
+    Hi = Options.Config.ModuloII - 1;
+  } else {
+    Lo = std::max(Options.Config.MinCycle, AroundCycle - Options.DiffRadius);
+    Hi = AroundCycle + Options.DiffRadius;
+  }
+  if (Hi < Lo)
+    Hi = Lo;
+
+  // The observed diff: cells where the two modules answer differently,
+  // probed per (operation, cycle) through check().
+  size_t NumOps = Options.RefMD ? Options.RefMD->numOperations() : 0;
+  if (NumOps > 0) {
+    OS << "check() disagreements over cycles [" << Lo << ", " << Hi
+       << "]:\n";
+    size_t Reported = 0;
+    for (OpId Op = 0; Op < NumOps; ++Op)
+      for (int C = Lo; C <= Hi; ++C) {
+        bool A = Ref->check(Op, C);
+        bool B = Cand->check(Op, C);
+        if (A != B && Reported < 32) {
+          ++Reported;
+          OS << "  " << Options.RefMD->operation(Op).Name << "@" << C
+             << ": " << Options.RefLabel << "=" << (A ? "free" : "busy")
+             << " " << Options.CandLabel << "=" << (B ? "free" : "busy")
+             << "\n";
+        }
+      }
+    if (Reported == 0)
+      OS << "  (none in this window)\n";
+  }
+
+  if (Options.RefMD) {
+    OS << "expected occupancy, " << Options.RefLabel << " description ("
+       << Options.RefMD->name() << "):\n";
+    renderExpectedOccupancy(OS, *Options.RefMD, Options.Config, Live, Lo,
+                            Hi);
+  }
+  if (Options.CandMD) {
+    OS << "expected occupancy, " << Options.CandLabel << " description ("
+       << Options.CandMD->name() << "):\n";
+    renderExpectedOccupancy(OS, *Options.CandMD, Options.Config, Live, Lo,
+                            Hi);
+  }
+  return OS.str();
+}
+
+void ShadowQueryModule::diverge(const std::string &CallDesc,
+                                const std::string &Detail, int AroundCycle) {
+  ++Divergences;
+  std::ostringstream OS;
+  OS << "query-module divergence between " << Options.RefLabel << " and "
+     << Options.CandLabel << "\n  call: " << CallDesc
+     << "\n  " << Detail << "\n"
+     << renderStateDiff(AroundCycle);
+  Options.OnDivergence(OS.str());
+}
+
+//===----------------------------------------------------------------------===//
+// Lockstep forwarding
+//===----------------------------------------------------------------------===//
+
+bool ShadowQueryModule::check(OpId Op, int Cycle) {
+  bool A = Ref->check(Op, Cycle);
+  bool B = Cand->check(Op, Cycle);
+  if (A != B) {
+    std::ostringstream Desc;
+    Desc << "check(op=" << Op << ", cycle=" << Cycle << ")";
+    diverge(Desc.str(),
+            Options.RefLabel + "=" + (A ? "free" : "busy") + ", " +
+                Options.CandLabel + "=" + (B ? "free" : "busy"),
+            Cycle);
+  }
+  Counters = Ref->counters();
+  return A;
+}
+
+int ShadowQueryModule::checkWithAlternatives(
+    const std::vector<OpId> &Alternatives, int Cycle) {
+  int A = Ref->checkWithAlternatives(Alternatives, Cycle);
+  int B = Cand->checkWithAlternatives(Alternatives, Cycle);
+  if (A != B) {
+    std::ostringstream Desc;
+    Desc << "checkWithAlternatives(" << Alternatives.size()
+         << " alternatives, cycle=" << Cycle << ")";
+    diverge(Desc.str(),
+            Options.RefLabel + " chose " + std::to_string(A) + ", " +
+                Options.CandLabel + " chose " + std::to_string(B),
+            Cycle);
+  }
+  Counters = Ref->counters();
+  return A;
+}
+
+void ShadowQueryModule::assign(OpId Op, int Cycle, InstanceId Instance) {
+  Ref->assign(Op, Cycle, Instance);
+  Cand->assign(Op, Cycle, Instance);
+  Live[Instance] = {Op, Cycle};
+  Counters = Ref->counters();
+}
+
+void ShadowQueryModule::free(OpId Op, int Cycle, InstanceId Instance) {
+  Ref->free(Op, Cycle, Instance);
+  Cand->free(Op, Cycle, Instance);
+  Live.erase(Instance);
+  Counters = Ref->counters();
+}
+
+void ShadowQueryModule::assignAndFree(OpId Op, int Cycle, InstanceId Instance,
+                                      std::vector<InstanceId> &Evicted) {
+  std::vector<InstanceId> FromRef, FromCand;
+  Ref->assignAndFree(Op, Cycle, Instance, FromRef);
+  Cand->assignAndFree(Op, Cycle, Instance, FromCand);
+
+  std::vector<InstanceId> SortedRef = FromRef, SortedCand = FromCand;
+  std::sort(SortedRef.begin(), SortedRef.end());
+  std::sort(SortedCand.begin(), SortedCand.end());
+  if (SortedRef != SortedCand) {
+    auto Render = [](const std::vector<InstanceId> &Ids) {
+      std::string S = "{";
+      for (size_t I = 0; I < Ids.size(); ++I)
+        S += (I ? " #" : "#") + std::to_string(Ids[I]);
+      return S + "}";
+    };
+    std::ostringstream Desc;
+    Desc << "assignAndFree(op=" << Op << ", cycle=" << Cycle
+         << ", instance=" << Instance << ")";
+    diverge(Desc.str(),
+            Options.RefLabel + " evicted " + Render(SortedRef) + ", " +
+                Options.CandLabel + " evicted " + Render(SortedCand),
+            Cycle);
+  }
+
+  // The reference is the source of truth for the caller and the live set.
+  for (InstanceId Victim : FromRef)
+    Live.erase(Victim);
+  Live[Instance] = {Op, Cycle};
+  Evicted.insert(Evicted.end(), FromRef.begin(), FromRef.end());
+  Counters = Ref->counters();
+}
+
+void ShadowQueryModule::reset() {
+  Ref->reset();
+  Cand->reset();
+  Live.clear();
+  Counters = Ref->counters();
+}
+
+size_t ShadowQueryModule::verifyEndState() {
+  if (!Options.RefMD)
+    return 0; // no operation universe to probe
+
+  int Lo, Hi;
+  if (Options.Config.Mode == QueryConfig::Modulo) {
+    Lo = 0;
+    Hi = Options.Config.ModuloII - 1;
+  } else {
+    Lo = Options.Config.MinCycle;
+    int LastIssue = Options.Config.MinCycle;
+    for (const auto &[Instance, Placement] : Live)
+      LastIssue = std::max(LastIssue, Placement.second);
+    Hi = LastIssue + std::max(Options.RefMD->maxTableLength(), 1);
+  }
+
+  size_t Found = 0;
+  for (OpId Op = 0; Op < Options.RefMD->numOperations(); ++Op)
+    for (int C = Lo; C <= Hi; ++C) {
+      bool A = Ref->check(Op, C);
+      bool B = Cand->check(Op, C);
+      if (A != B) {
+        ++Found;
+        std::ostringstream Desc;
+        Desc << "verifyEndState probe check(op=" << Op << ", cycle=" << C
+             << ")";
+        diverge(Desc.str(),
+                Options.RefLabel + "=" + (A ? "free" : "busy") + ", " +
+                    Options.CandLabel + "=" + (B ? "free" : "busy"),
+                C);
+      }
+    }
+  Counters = Ref->counters();
+  return Found;
+}

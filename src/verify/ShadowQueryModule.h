@@ -1,0 +1,113 @@
+//===- verify/ShadowQueryModule.h - Lockstep differential check -*- C++ -*-===//
+///
+/// \file
+/// A ContentionQueryModule that drives two inner modules in lockstep and
+/// reports the first divergence with a rendered occupancy diff. The inner
+/// modules may differ in representation (discrete vs bitvector), in machine
+/// description (original vs reduced), or both — the paper guarantees every
+/// pairing answers identically, and this module is the runtime enforcement
+/// of that guarantee.
+///
+/// Checked on every call: check answers, check-with-alternatives indices,
+/// evicted-instance sets of assign&free. verifyEndState() additionally
+/// cross-probes the end-state reservations cell-by-cell through check().
+///
+/// The divergence handler defaults to fatalError(); tests install their own
+/// handler to assert that a deliberately broken module is caught.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMD_VERIFY_SHADOWQUERYMODULE_H
+#define RMD_VERIFY_SHADOWQUERYMODULE_H
+
+#include "query/QueryModule.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+namespace rmd {
+
+/// Configuration of a ShadowQueryModule.
+struct ShadowOptions {
+  /// Machine descriptions the two inner modules are built over. Optional;
+  /// when set (together with Config), divergence reports include the
+  /// expected occupancy of both descriptions rebuilt from the live
+  /// instance set. Both must outlive the shadow module.
+  const MachineDescription *RefMD = nullptr;
+  const MachineDescription *CandMD = nullptr;
+
+  /// Addressing of the inner modules (used to rebuild render views and to
+  /// bound end-state probing). Must match the inner modules' configs.
+  QueryConfig Config;
+
+  std::string RefLabel = "reference";
+  std::string CandLabel = "candidate";
+
+  /// Invoked with a full report on each divergence. Defaults to
+  /// fatalError() — a divergence means schedules can silently rot, so
+  /// production runs must die. Handlers may return (tests do) and the
+  /// shadow keeps forwarding to the *reference* module's answers.
+  std::function<void(const std::string &)> OnDivergence;
+
+  /// Cycles rendered on each side of a divergent cycle.
+  int DiffRadius = 6;
+};
+
+/// Drives \p Reference and \p Candidate in lockstep; see file comment.
+/// Forwarded answers (and work counters) are always the reference module's,
+/// so a shadowed scheduler behaves exactly as if it ran on the reference.
+class ShadowQueryModule : public ContentionQueryModule {
+public:
+  ShadowQueryModule(std::unique_ptr<ContentionQueryModule> Reference,
+                    std::unique_ptr<ContentionQueryModule> Candidate,
+                    ShadowOptions Options = {});
+  ~ShadowQueryModule() override;
+
+  bool check(OpId Op, int Cycle) override;
+  void assign(OpId Op, int Cycle, InstanceId Instance) override;
+  void free(OpId Op, int Cycle, InstanceId Instance) override;
+  void assignAndFree(OpId Op, int Cycle, InstanceId Instance,
+                     std::vector<InstanceId> &Evicted) override;
+  void reset() override;
+  int checkWithAlternatives(const std::vector<OpId> &Alternatives,
+                            int Cycle) override;
+
+  /// Cross-probes the current reservations: every operation is checked at
+  /// every cycle of the live window on both modules; any disagreement is a
+  /// divergence. Probing goes through check(), so counters are perturbed —
+  /// call at verification points, not in measured runs. Returns the number
+  /// of divergences found by this probe.
+  size_t verifyEndState();
+
+  /// Total divergences reported so far (nonzero only if the handler
+  /// returned instead of aborting).
+  size_t divergenceCount() const { return Divergences; }
+
+  ContentionQueryModule &reference() { return *Ref; }
+  ContentionQueryModule &candidate() { return *Cand; }
+
+private:
+  /// Builds the report for a divergent call and invokes the handler.
+  void diverge(const std::string &CallDesc, const std::string &Detail,
+               int AroundCycle);
+
+  /// Renders the live instance set plus, when descriptions are available,
+  /// both expected occupancy tables around \p AroundCycle.
+  std::string renderStateDiff(int AroundCycle) const;
+
+  std::unique_ptr<ContentionQueryModule> Ref;
+  std::unique_ptr<ContentionQueryModule> Cand;
+  ShadowOptions Options;
+
+  /// Live instances (id -> op, issue cycle); ordered so reports and
+  /// rebuilt render views are deterministic.
+  std::map<InstanceId, std::pair<OpId, int>> Live;
+
+  size_t Divergences = 0;
+};
+
+} // namespace rmd
+
+#endif // RMD_VERIFY_SHADOWQUERYMODULE_H

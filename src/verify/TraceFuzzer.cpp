@@ -1,0 +1,154 @@
+//===- verify/TraceFuzzer.cpp ---------------------------------------------===//
+
+#include "verify/TraceFuzzer.h"
+
+#include "query/DiscreteQuery.h" // hasModuloSelfConflict
+#include "support/RNG.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace rmd;
+
+FuzzStats rmd::fuzzQueryModule(ContentionQueryModule &Module,
+                               const MachineDescription &Flat,
+                               const std::vector<std::vector<OpId>> &Groups,
+                               const QueryConfig &Config,
+                               const FuzzOptions &Options) {
+  assert(Flat.isExpanded() && "fuzzer requires an expanded machine");
+  assert(Options.CycleSpan > 0 && "cycle span must be positive");
+  assert(Flat.numOperations() > 0 && "cannot fuzz an empty machine");
+
+  RNG R(Options.Seed);
+  FuzzStats Stats;
+  const bool Modulo = Config.Mode == QueryConfig::Modulo;
+
+  // Operations that may legally be placed: in modulo mode an operation
+  // whose table collides with its own II-copies can never be assigned
+  // (check() answers false; assignAndFree() aborts by contract).
+  std::vector<OpId> Placeable;
+  for (OpId Op = 0; Op < Flat.numOperations(); ++Op)
+    if (!Modulo ||
+        !hasModuloSelfConflict(Flat.operation(Op).table(), Config.ModuloII))
+      Placeable.push_back(Op);
+
+  auto randomCycle = [&]() {
+    if (Modulo)
+      return -Options.CycleSpan +
+             static_cast<int>(R.nextBelow(2u * Options.CycleSpan));
+    return Config.MinCycle +
+           static_cast<int>(R.nextBelow(Options.CycleSpan));
+  };
+
+  // Model of the module's live instances; keeps every generated call legal.
+  std::vector<InstanceId> LiveIds;
+  std::unordered_map<InstanceId, std::pair<OpId, int>> LiveInfo;
+  InstanceId NextId = 0;
+
+  auto addLive = [&](InstanceId Id, OpId Op, int Cycle) {
+    LiveIds.push_back(Id);
+    LiveInfo.emplace(Id, std::make_pair(Op, Cycle));
+  };
+  auto removeLive = [&](InstanceId Id) {
+    LiveInfo.erase(Id);
+    for (size_t I = 0; I < LiveIds.size(); ++I)
+      if (LiveIds[I] == Id) {
+        LiveIds[I] = LiveIds.back();
+        LiveIds.pop_back();
+        break;
+      }
+  };
+
+  auto forcedPlacement = [&](int Cycle) {
+    OpId Op = Placeable[R.nextBelow(Placeable.size())];
+    std::vector<InstanceId> Evicted;
+    InstanceId Id = NextId++;
+    Module.assignAndFree(Op, Cycle, Id, Evicted);
+    ++Stats.AssignFrees;
+    Stats.Evictions += Evicted.size();
+    for (InstanceId Victim : Evicted)
+      removeLive(Victim);
+    addLive(Id, Op, Cycle);
+  };
+
+  auto checkMaybeAssign = [&]() {
+    OpId Op = static_cast<OpId>(R.nextBelow(Flat.numOperations()));
+    int Cycle = randomCycle();
+    bool Free = Module.check(Op, Cycle);
+    ++Stats.Checks;
+    // check() returning true implies the placement is legal (modulo
+    // self-conflicting operations always answer false).
+    if (Free && R.nextChance(2, 3)) {
+      InstanceId Id = NextId++;
+      Module.assign(Op, Cycle, Id);
+      ++Stats.Assigns;
+      addLive(Id, Op, Cycle);
+    }
+  };
+
+  for (int Step = 0; Step < Options.Steps; ++Step) {
+    if (R.nextChance(Options.ResetPerMille, 1000)) {
+      Module.reset();
+      LiveIds.clear();
+      LiveInfo.clear();
+      ++Stats.Resets;
+      continue;
+    }
+
+    // Eviction storm: a burst of forced placements at clustered cycles —
+    // the traffic pattern that drives optimistic bitvector modules through
+    // the update-mode transition and produces deep eviction cascades.
+    if (!Placeable.empty() && R.nextChance(Options.StormPerMille, 1000)) {
+      ++Stats.Storms;
+      int Base = randomCycle();
+      for (unsigned I = 0; I < Options.StormLength; ++I)
+        forcedPlacement(Base + static_cast<int>(R.nextBelow(4)));
+      continue;
+    }
+
+    switch (R.nextBelow(4)) {
+    case 0:
+      checkMaybeAssign();
+      break;
+    case 1: {
+      if (Groups.empty()) {
+        checkMaybeAssign();
+        break;
+      }
+      const std::vector<OpId> &Group = Groups[R.nextBelow(Groups.size())];
+      int Cycle = randomCycle();
+      int Found = Module.checkWithAlternatives(Group, Cycle);
+      ++Stats.CheckAlternatives;
+      if (Found >= 0 && R.nextChance(1, 2)) {
+        InstanceId Id = NextId++;
+        Module.assign(Group[static_cast<size_t>(Found)], Cycle, Id);
+        ++Stats.Assigns;
+        addLive(Id, Group[static_cast<size_t>(Found)], Cycle);
+      }
+      break;
+    }
+    case 2: {
+      if (LiveIds.empty()) {
+        checkMaybeAssign();
+        break;
+      }
+      InstanceId Id = LiveIds[R.nextBelow(LiveIds.size())];
+      auto [Op, Cycle] = LiveInfo.at(Id);
+      Module.free(Op, Cycle, Id);
+      ++Stats.Frees;
+      removeLive(Id);
+      break;
+    }
+    case 3:
+      if (Placeable.empty()) {
+        checkMaybeAssign();
+        break;
+      }
+      forcedPlacement(randomCycle());
+      break;
+    }
+  }
+
+  Stats.LiveAtEnd = LiveIds.size();
+  return Stats;
+}

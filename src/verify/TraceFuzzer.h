@@ -1,0 +1,86 @@
+//===- verify/TraceFuzzer.h - Randomized query-trace fuzzing ---*- C++ -*-===//
+///
+/// \file
+/// A seeded random driver for contention query modules: generates a
+/// well-formed stream of check / check-with-alternatives / assign / free /
+/// assign&free / reset calls against any ContentionQueryModule, keeping a
+/// model of the live instances so every call is legal (assigns only into
+/// checked-free slots, frees only live instances, no modulo self-conflict
+/// placements).
+///
+/// Compose with the rest of the verify subsystem:
+///   - drive a ShadowQueryModule to differentially test two modules under
+///     far denser and more adversarial traffic (eviction storms, negative
+///     cycles, resets mid-storm) than any scheduler produces;
+///   - drive a TracingQueryModule to mint reproducible trace corpora for
+///     bench/trace_replay.
+///
+/// Determinism: identical (machine, config, options) inputs produce the
+/// identical call stream on every host — failures reduce to one seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMD_VERIFY_TRACEFUZZER_H
+#define RMD_VERIFY_TRACEFUZZER_H
+
+#include "query/QueryModule.h"
+
+#include <cstdint>
+
+namespace rmd {
+
+/// Knobs of one fuzzing run.
+struct FuzzOptions {
+  uint64_t Seed = 1;
+
+  /// Number of fuzzing steps (a storm counts as one step).
+  int Steps = 2000;
+
+  /// Issue cycles are drawn from [MinCycle, MinCycle + CycleSpan) in
+  /// linear mode and from [-CycleSpan, CycleSpan) in modulo mode (negative
+  /// cycles exercise the wrap-around paths).
+  int CycleSpan = 48;
+
+  /// Per-mille of steps that run an eviction storm: StormLength forced
+  /// assign&free placements at clustered cycles, which is what drives
+  /// optimistic bitvector modules through their update-mode transition.
+  unsigned StormPerMille = 80;
+  unsigned StormLength = 6;
+
+  /// Per-mille of steps that reset() the module (restarting the
+  /// optimistic/update lifecycle).
+  unsigned ResetPerMille = 4;
+};
+
+/// Tallies of one fuzzing run.
+struct FuzzStats {
+  uint64_t Checks = 0;
+  uint64_t CheckAlternatives = 0;
+  uint64_t Assigns = 0;
+  uint64_t Frees = 0;
+  uint64_t AssignFrees = 0;
+  uint64_t Evictions = 0;
+  uint64_t Storms = 0;
+  uint64_t Resets = 0;
+  /// Instances still live when the run ended.
+  uint64_t LiveAtEnd = 0;
+
+  uint64_t totalCalls() const {
+    return Checks + CheckAlternatives + Assigns + Frees + AssignFrees +
+           Resets;
+  }
+};
+
+/// Fuzzes \p Module, which must be built over \p Flat (or an FLM-equivalent
+/// description with the same operation ids) with addressing \p Config.
+/// \p Groups lists the alternative groups used for check-with-alternatives
+/// (ExpandedMachine::Groups; pass {} to skip alternative queries).
+FuzzStats fuzzQueryModule(ContentionQueryModule &Module,
+                          const MachineDescription &Flat,
+                          const std::vector<std::vector<OpId>> &Groups,
+                          const QueryConfig &Config,
+                          const FuzzOptions &Options = {});
+
+} // namespace rmd
+
+#endif // RMD_VERIFY_TRACEFUZZER_H

@@ -53,6 +53,39 @@ TEST(Lint, FlagsOverlongTableAndDuplicateAlternatives) {
   EXPECT_TRUE(hasWarning(Diags, "duplicate alternatives"));
 }
 
+TEST(Lint, FlagsNegativeUsageCycles) {
+  // Usage cycles are issue-relative; a negative cycle would wrap the
+  // size_t table-length math in the bitvector module's pattern builder.
+  // The vector constructor deliberately accepts it (descriptions built
+  // from untrusted data stay representable for diagnosis) and lint flags
+  // it.
+  MachineDescription MD("m");
+  ResourceId R = MD.addResource("r");
+  ReservationTable Bad(std::vector<ResourceUsage>{{R, -2}, {R, 1}});
+  MD.addOperation("early", Bad);
+
+  DiagnosticEngine Diags;
+  unsigned Warnings = lintMachine(MD, Diags);
+  EXPECT_GE(Warnings, 1u);
+  EXPECT_TRUE(hasWarning(Diags, "negative cycle -2"));
+  EXPECT_TRUE(hasWarning(Diags, "'r'"));
+  EXPECT_FALSE(Diags.hasErrors());
+
+  // One warning per offending alternative, not per offending usage.
+  MachineDescription MD2("m2");
+  ResourceId R2 = MD2.addResource("r");
+  ReservationTable Bad2(
+      std::vector<ResourceUsage>{{R2, -3}, {R2, -1}, {R2, 0}});
+  MD2.addOperation("worse", Bad2);
+  DiagnosticEngine Diags2;
+  lintMachine(MD2, Diags2);
+  unsigned NegativeWarnings = 0;
+  for (const Diagnostic &D : Diags2.diagnostics())
+    if (D.Message.find("negative cycle") != std::string::npos)
+      ++NegativeWarnings;
+  EXPECT_EQ(NegativeWarnings, 1u);
+}
+
 TEST(Lint, FlagsIdenticalTablesAcrossOperations) {
   MachineDescription MD("m");
   ResourceId R = MD.addResource("r");

@@ -211,6 +211,80 @@ TEST(BitvectorQuery, CheckWithAlternativesUnionFastPath) {
   }
 }
 
+TEST(BitvectorQuery, UnionFastPathBillsOneCallOnlyOnSuccess) {
+  // Regression test for the Table 6 accounting skew: the union pass used
+  // to bill a check call unconditionally, so a conflicting union-mode
+  // query cost 1 + N calls instead of the N fallback calls that were
+  // actually answered. A successful union pass is exactly one call; a
+  // conflicting one bills only the per-alternative fallback.
+  MachineDescription MD("two-port");
+  ResourceId R0 = MD.addResource("p0");
+  ResourceId R1 = MD.addResource("p1");
+  ReservationTable T0, T1;
+  T0.addUsage(R0, 0);
+  T1.addUsage(R1, 0);
+  MD.addOperation("x", {T0, T1});
+  ExpandedMachine EM = expandAlternatives(MD);
+  const std::vector<OpId> &G = EM.Groups[0];
+  ASSERT_EQ(G.size(), 2u);
+
+  QueryConfig Config = QueryConfig::linear();
+  Config.UnionAlternativeCheck = true;
+  BitvectorQueryModule Q(EM.Flat, Config);
+
+  // Clean table: the union answers alone.
+  EXPECT_EQ(Q.checkWithAlternatives(G, 0), 0);
+  EXPECT_EQ(Q.counters().CheckCalls, 1u);
+
+  // p0 taken: the union mask conflicts, but alternative 1 is free. The
+  // fallback checks alternative 0 (conflict) then 1 (free): two calls,
+  // with nothing extra for the failed union pass.
+  Q.assign(G[0], 0, 1);
+  uint64_t UnitsBefore = Q.counters().CheckUnits;
+  EXPECT_EQ(Q.checkWithAlternatives(G, 0), 1);
+  EXPECT_EQ(Q.counters().CheckCalls, 3u);
+  // The union scan's words are still billed as units: work done is work
+  // done, successful or not.
+  EXPECT_GT(Q.counters().CheckUnits, UnitsBefore);
+
+  // Both ports taken: full conflict still bills exactly the two fallback
+  // calls.
+  Q.assign(G[1], 0, 2);
+  EXPECT_EQ(Q.checkWithAlternatives(G, 0), -1);
+  EXPECT_EQ(Q.counters().CheckCalls, 5u);
+}
+
+TEST(DiscreteQuery, SnapshotRestoresWorkCounters) {
+  // Snapshots capture the work counters, so restoring a snapshot also
+  // rewinds the accounting: work done on an abandoned speculative branch
+  // is not billed to the run (callers that want to keep it can
+  // accumulate() the pre-restore counters).
+  Fig1 F;
+  DiscreteQueryModule Q(F.MD, QueryConfig::linear());
+  Q.check(F.A, 0);
+  Q.assign(F.A, 0, 1);
+  WorkCounters AtSnapshot = Q.counters();
+  DiscreteQueryModule::Snapshot S = Q.snapshot();
+
+  // A speculative branch that gets abandoned.
+  Q.check(F.B, 1);
+  std::vector<InstanceId> Evicted;
+  Q.assignAndFree(F.B, 1, 2, Evicted);
+  EXPECT_GT(Q.counters().CheckCalls, AtSnapshot.CheckCalls);
+  EXPECT_GT(Q.counters().AssignFreeCalls, AtSnapshot.AssignFreeCalls);
+
+  Q.restore(S);
+  EXPECT_EQ(Q.counters().CheckCalls, AtSnapshot.CheckCalls);
+  EXPECT_EQ(Q.counters().CheckUnits, AtSnapshot.CheckUnits);
+  EXPECT_EQ(Q.counters().AssignCalls, AtSnapshot.AssignCalls);
+  EXPECT_EQ(Q.counters().AssignFreeCalls, AtSnapshot.AssignFreeCalls);
+  EXPECT_EQ(Q.counters().totalUnits(), AtSnapshot.totalUnits());
+
+  // Accounting resumes from the snapshot point.
+  Q.check(F.A, 1);
+  EXPECT_EQ(Q.counters().CheckCalls, AtSnapshot.CheckCalls + 1);
+}
+
 TEST(BitvectorQuery, MatchesPaperPackingMath) {
   Fig1 F;
   BitvectorQueryModule Q64(F.MD, QueryConfig::linear());
@@ -350,6 +424,59 @@ TEST(BitvectorQuery, EvictionAgreesWithDiscrete) {
         ASSERT_EQ(D.check(Check, T), B.check(Check, T))
             << "divergence at step " << Step;
   }
+}
+
+TEST(BitvectorQuery, ModuloEvictionCascadeAcrossTwoTransitions) {
+  // An eviction cascade in modulo mode, run through the bitvector
+  // module's full optimistic -> update lifecycle twice: storm until the
+  // first conflicting assign&free forces the transition, keep storming in
+  // update mode, reset() (back to optimistic), and storm through a second
+  // transition. At every step the discrete module must report the
+  // identical eviction set, and the MRTs must agree cell by cell.
+  MachineDescription Flat = expandAlternatives(makeToyVliw().MD).Flat;
+  const int II = 5;
+  DiscreteQueryModule D(Flat, QueryConfig::modulo(II));
+  BitvectorQueryModule B(Flat, QueryConfig::modulo(II));
+
+  std::vector<OpId> Placeable;
+  for (OpId Op = 0; Op < Flat.numOperations(); ++Op)
+    if (!hasModuloSelfConflict(Flat.operation(Op).table(), II))
+      Placeable.push_back(Op);
+  ASSERT_GE(Placeable.size(), 2u);
+
+  RNG R(1331);
+  InstanceId NextId = 0;
+  unsigned Transitions = 0;
+  for (int Round = 0; Round < 2; ++Round) {
+    EXPECT_FALSE(B.inUpdateMode()) << "round " << Round;
+    bool Transitioned = false;
+    for (int Step = 0; Step < 120; ++Step) {
+      OpId Op = Placeable[R.nextBelow(Placeable.size())];
+      // Clustered cycles (also negative: modulo wrap) force dense
+      // contention so assign&free cascades through multiple victims.
+      int Cycle = static_cast<int>(R.nextBelow(2 * II)) - II;
+      std::vector<InstanceId> EvictedD, EvictedB;
+      InstanceId Id = NextId++;
+      D.assignAndFree(Op, Cycle, Id, EvictedD);
+      B.assignAndFree(Op, Cycle, Id, EvictedB);
+      std::sort(EvictedD.begin(), EvictedD.end());
+      std::sort(EvictedB.begin(), EvictedB.end());
+      ASSERT_EQ(EvictedD, EvictedB) << "round " << Round << " step " << Step;
+      if (!Transitioned && B.inUpdateMode()) {
+        Transitioned = true;
+        ++Transitions;
+        EXPECT_GT(B.counters().TransitionUnits, 0u);
+      }
+      for (OpId Probe = 0; Probe < Flat.numOperations(); ++Probe)
+        for (int T = 0; T < II; ++T)
+          ASSERT_EQ(D.check(Probe, T), B.check(Probe, T))
+              << "round " << Round << " step " << Step;
+    }
+    EXPECT_TRUE(Transitioned) << "round " << Round;
+    D.reset();
+    B.reset();
+  }
+  EXPECT_EQ(Transitions, 2u);
 }
 
 TEST(QueryModule, ReducedDescriptionAnswersIdentically) {
