@@ -25,10 +25,13 @@ namespace {
 struct Setup {
   MachineDescription Flat;
   MachineDescription Reduced;
+  std::vector<std::vector<OpId>> Groups;
   std::vector<std::pair<OpId, int>> Trace;
 
   explicit Setup(const MachineModel &Model) {
-    Flat = expandAlternatives(Model.MD).Flat;
+    ExpandedMachine EM = expandAlternatives(Model.MD);
+    Flat = EM.Flat;
+    Groups = EM.Groups;
     Reduced = reduceMachine(Flat).Reduced;
     RNG R(1234);
     for (int I = 0; I < 4096; ++I)
@@ -127,6 +130,39 @@ void BM_BitvectorReduced(benchmark::State &State) {
   runQueryMix<BitvectorQueryModule>(State, S.Reduced, S.Trace);
 }
 
+/// check-with-alternatives mix on the original description: every query
+/// goes through the union-mask fast path, so this isolates the cost of the
+/// per-group union-pattern cache lookup on the hot path.
+void BM_BitvectorAlternatives(benchmark::State &State) {
+  const Setup &S = setupFor(static_cast<int>(State.range(0)));
+  State.SetLabel(machineName(static_cast<int>(State.range(0))));
+  BitvectorQueryModule Module(S.Flat, QueryConfig::linear());
+  RNG R(99);
+  std::vector<std::pair<size_t, int>> Queries;
+  for (int I = 0; I < 4096; ++I)
+    Queries.push_back({R.nextBelow(S.Groups.size()),
+                       static_cast<int>(R.nextBelow(64))});
+  for (auto _ : State) {
+    (void)_;
+    InstanceId Next = 0;
+    size_t Placed = 0;
+    for (const auto &[Group, Cycle] : Queries) {
+      int Alt = Module.checkWithAlternatives(S.Groups[Group], Cycle);
+      if (Alt >= 0) {
+        Module.assign(S.Groups[Group][static_cast<size_t>(Alt)], Cycle,
+                      Next++);
+        ++Placed;
+      }
+      if (Placed % 64 == 0)
+        Module.reset();
+    }
+    benchmark::DoNotOptimize(Placed);
+    Module.reset();
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(Queries.size()));
+}
+
 /// Baseline: automaton-driven in-order issue (the only scheduling model
 /// the plain forward automaton supports without extra machinery).
 void BM_AutomatonInOrder(benchmark::State &State) {
@@ -167,6 +203,7 @@ BENCHMARK(BM_DiscreteOriginal)->Arg(0)->Arg(1)->Arg(2);
 BENCHMARK(BM_DiscreteReduced)->Arg(0)->Arg(1)->Arg(2);
 BENCHMARK(BM_BitvectorOriginal)->Arg(0)->Arg(1)->Arg(2);
 BENCHMARK(BM_BitvectorReduced)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_BitvectorAlternatives)->Arg(0)->Arg(1)->Arg(2);
 BENCHMARK(BM_AutomatonInOrder)->Arg(1)->Arg(2);
 
 BENCHMARK_MAIN();

@@ -18,6 +18,7 @@
 #include "machines/MdlModel.h"
 #include "query/DiscreteQuery.h"
 #include "reduce/Reduction.h"
+#include "reduce/ReductionCache.h"
 #include "sched/GraphIO.h"
 #include "sched/IterativeModuloScheduler.h"
 #include "sched/ScheduleRender.h"
@@ -138,7 +139,7 @@ int main(int Argc, char **Argv) {
 
   // Reduce the description and schedule against it.
   ExpandedMachine EM = expandAlternatives(Model.MD);
-  MachineDescription Reduced = reduceMachine(EM.Flat).Reduced;
+  MachineDescription Reduced = reduceMachineCached(EM.Flat).Reduced;
 
   QueryEnvironment Env;
   Env.FlatMD = &Reduced;

@@ -9,14 +9,17 @@
 //
 // Usage:
 //   mdlreduce [--objective=res-uses | --objective=word:<k>]
-//             [--classes] [--stats]
+//             [--classes] [--stats] [--threads=<n>] [--cache=<dir>]
 //             [--emit=mdl | --emit=c++] [--namespace=<ident>]
 //             <input.mdl | ->
 //
 // With no file (or "-"), reads the paper's Figure 1 machine from a
 // built-in sample so the tool is runnable out of the box. --emit=c++
 // writes the reduced description as a header of constexpr tables, the
-// form a production scheduler would compile in.
+// form a production scheduler would compile in. --cache memoizes
+// reductions on disk keyed by machine content + objective (the
+// RMD_REDUCTION_CACHE environment variable enables the same cache when
+// the flag is absent); --threads=0 uses all hardware threads.
 //
 //===----------------------------------------------------------------------===//
 
@@ -28,6 +31,7 @@
 #include "mdl/Writer.h"
 #include "reduce/Metrics.h"
 #include "reduce/Reduction.h"
+#include "reduce/ReductionCache.h"
 
 #include <fstream>
 #include <iostream>
@@ -47,6 +51,7 @@ machine fig1 {
 static void usage() {
   std::cerr << "usage: mdlreduce [--objective=res-uses|word:<k>] "
                "[--classes] [--stats] [--explain] [--lint] "
+               "[--threads=<n>] [--cache=<dir>] "
                "[--emit=mdl|c++] "
                "[--namespace=<ident>] [input.mdl]\n";
 }
@@ -60,6 +65,8 @@ int main(int Argc, char **Argv) {
   bool EmitCpp = false;
   std::string CppNamespace = "machine_tables";
   std::string InputPath;
+  std::string CacheDir;
+  unsigned Threads = 1;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -82,6 +89,15 @@ int main(int Argc, char **Argv) {
         std::cerr << "mdlreduce: error: empty namespace\n";
         return 1;
       }
+    } else if (Arg.rfind("--cache=", 0) == 0) {
+      CacheDir = Arg.substr(sizeof("--cache=") - 1);
+      if (CacheDir.empty()) {
+        std::cerr << "mdlreduce: error: empty cache directory\n";
+        return 1;
+      }
+    } else if (Arg.rfind("--threads=", 0) == 0) {
+      Threads = static_cast<unsigned>(
+          std::atoi(Arg.c_str() + sizeof("--threads=") - 1));
     } else if (Arg == "--classes") {
       UseClasses = true;
     } else if (Arg == "--stats") {
@@ -142,9 +158,19 @@ int main(int Argc, char **Argv) {
 
   ReductionOptions Options;
   Options.Objective = Objective;
-  ReductionResult Result = reduceMachine(Flat, Options);
+  Options.Threads = Threads;
+
+  std::optional<ReductionCache> Cache =
+      CacheDir.empty() ? ReductionCache::fromEnvironment()
+                       : std::make_optional(ReductionCache(CacheDir));
+  bool CacheHit = false;
+  ReductionResult Result = Cache ? Cache->reduce(Flat, Options, &CacheHit)
+                                 : reduceMachine(Flat, Options);
 
   if (PrintStats) {
+    if (Cache)
+      std::cerr << "cache:  " << (CacheHit ? "hit" : "miss") << " ("
+                << Cache->directory() << ")\n";
     std::cerr << "input:  " << Flat.numResources() << " resources, "
               << Flat.numOperations() << " operations, "
               << Flat.totalUsages() << " usages\n";

@@ -11,6 +11,7 @@
 
 #include "query/DiscreteQuery.h"
 #include "reduce/Reduction.h"
+#include "reduce/ReductionCache.h"
 #include "sched/IterativeModuloScheduler.h"
 #include "sched/ScheduleRender.h"
 #include "workload/Kernels.h"
@@ -70,7 +71,7 @@ int main() {
   renderKernel(std::cout, G, EM.Flat, Chosen, R.Time, R.II);
 
   // Replay against the reduced description: identical schedule, less work.
-  MachineDescription Reduced = reduceMachine(EM.Flat).Reduced;
+  MachineDescription Reduced = reduceMachineCached(EM.Flat).Reduced;
   ModuloScheduleResult R2 =
       moduloSchedule(G, Cydra.MD, environmentFor(Reduced, EM));
 

@@ -2,8 +2,9 @@
 
 #include "flm/ForbiddenLatencyMatrix.h"
 
+#include "support/ThreadPool.h"
+
 #include <algorithm>
-#include <map>
 #include <ostream>
 
 using namespace rmd;
@@ -12,7 +13,8 @@ ForbiddenLatencyMatrix::ForbiddenLatencyMatrix(size_t NumOperations)
     : NumOps(NumOperations), Sets(NumOperations * NumOperations) {}
 
 ForbiddenLatencyMatrix
-ForbiddenLatencyMatrix::compute(const MachineDescription &MD) {
+ForbiddenLatencyMatrix::compute(const MachineDescription &MD,
+                                ThreadPool *Pool) {
   assert(MD.isExpanded() &&
          "forbidden latencies require an expanded (single-alternative) "
          "machine; call expandAlternatives() first");
@@ -20,19 +22,28 @@ ForbiddenLatencyMatrix::compute(const MachineDescription &MD) {
   ForbiddenLatencyMatrix FLM(NumOps);
 
   // Per-resource usage lists: Resource -> [(op, cycle)].
-  std::map<ResourceId, std::vector<std::pair<OpId, int>>> ByResource;
+  std::vector<std::vector<std::pair<OpId, int>>> ByResource(
+      MD.numResources());
   for (OpId Op = 0; Op < NumOps; ++Op)
     for (const ResourceUsage &U : MD.operation(Op).table().usages())
       ByResource[U.Resource].push_back({Op, U.Cycle});
 
-  // Equation (1): for usages (X, x) and (Y, y) of one resource, X cannot be
-  // scheduled (y - x) cycles after Y.
-  for (const auto &[Resource, Usages] : ByResource) {
-    (void)Resource;
-    for (const auto &[X, Cx] : Usages)
-      for (const auto &[Y, Cy] : Usages)
-        FLM.getMutable(X, Y).insert(Cy - Cx);
-  }
+  // Equation (1): for usages (X, x) and (Y, y) of one resource, X cannot
+  // be scheduled (y - x) cycles after Y. Iterated row-major — for each X,
+  // over X's own usages — so a block of rows touches only its own cells
+  // and row blocks parallelize without synchronization. The per-cell sets
+  // are order-insensitive, so the result is identical to the sequential
+  // per-resource scan.
+  auto ComputeRows = [&](size_t RowBegin, size_t RowEnd) {
+    for (OpId X = static_cast<OpId>(RowBegin); X < RowEnd; ++X)
+      for (const ResourceUsage &U : MD.operation(X).table().usages())
+        for (const auto &[Y, Cy] : ByResource[U.Resource])
+          FLM.getMutable(X, Y).insert(Cy - U.Cycle);
+  };
+  if (Pool)
+    Pool->parallelFor(0, NumOps, ComputeRows, /*MinPerBlock=*/8);
+  else
+    ComputeRows(0, NumOps);
   return FLM;
 }
 

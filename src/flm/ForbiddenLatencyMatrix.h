@@ -29,6 +29,8 @@
 
 namespace rmd {
 
+class ThreadPool;
+
 /// A canonical (nonnegative) forbidden latency: operation \p After cannot be
 /// scheduled \p Latency cycles after operation \p Before. Canonical form:
 /// Latency > 0, or Latency == 0 with After <= Before.
@@ -56,7 +58,12 @@ struct ForbiddenLatency {
 class ForbiddenLatencyMatrix {
 public:
   /// Computes the matrix of \p MD per Equation (1). \p MD must be expanded.
-  static ForbiddenLatencyMatrix compute(const MachineDescription &MD);
+  /// With \p Pool, operation rows are computed in parallel blocks; each
+  /// cell F(X, Y) is owned by the thread holding row X, so the result is
+  /// bit-identical at every thread count (enforced by the thread-sweep
+  /// tests).
+  static ForbiddenLatencyMatrix compute(const MachineDescription &MD,
+                                        ThreadPool *Pool = nullptr);
 
   size_t numOperations() const { return NumOps; }
 

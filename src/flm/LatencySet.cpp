@@ -3,50 +3,135 @@
 #include "flm/LatencySet.h"
 
 #include <algorithm>
+#include <cassert>
 
 using namespace rmd;
 
-LatencySet::LatencySet(std::vector<int> TheValues)
-    : Values(std::move(TheValues)) {
-  std::sort(Values.begin(), Values.end());
-  Values.erase(std::unique(Values.begin(), Values.end()), Values.end());
+/// Largest multiple of 64 that is <= L (floor division for negatives).
+static int floor64(int L) {
+  int Q = L / 64;
+  if (L % 64 < 0)
+    --Q;
+  return Q * 64;
+}
+
+LatencySet::LatencySet(std::vector<int> TheValues) {
+  for (int V : TheValues)
+    insert(V);
+}
+
+size_t LatencySet::coverBit(int Latency) {
+  int WordBase = floor64(Latency);
+  if (Words.empty()) {
+    Base = WordBase;
+    Words.push_back(0);
+  } else if (WordBase < Base) {
+    size_t Grow = static_cast<size_t>(Base - WordBase) / 64;
+    Words.insert(Words.begin(), Grow, 0);
+    Base = WordBase;
+  } else {
+    size_t Word = static_cast<size_t>(WordBase - Base) / 64;
+    if (Word >= Words.size())
+      Words.resize(Word + 1, 0);
+  }
+  return static_cast<size_t>(Latency - Base);
 }
 
 void LatencySet::insert(int Latency) {
-  auto It = std::lower_bound(Values.begin(), Values.end(), Latency);
-  if (It != Values.end() && *It == Latency)
+  size_t Bit = coverBit(Latency);
+  uint64_t Mask = uint64_t(1) << (Bit % 64);
+  uint64_t &W = Words[Bit / 64];
+  if (W & Mask)
     return;
-  Values.insert(It, Latency);
+  W |= Mask;
+  ++Count;
 }
 
 bool LatencySet::contains(int Latency) const {
-  return std::binary_search(Values.begin(), Values.end(), Latency);
+  if (Words.empty() || Latency < Base)
+    return false;
+  size_t Bit = static_cast<size_t>(Latency - Base);
+  size_t Word = Bit / 64;
+  if (Word >= Words.size())
+    return false;
+  return (Words[Word] >> (Bit % 64)) & 1;
 }
 
 void LatencySet::unionWith(const LatencySet &Other) {
-  std::vector<int> Merged;
-  Merged.reserve(Values.size() + Other.Values.size());
-  std::set_union(Values.begin(), Values.end(), Other.Values.begin(),
-                 Other.Values.end(), std::back_inserter(Merged));
-  Values = std::move(Merged);
+  if (Other.Words.empty())
+    return;
+  if (Words.empty()) {
+    *this = Other;
+    return;
+  }
+  // Align this set's span over the union of both spans, then OR. Both
+  // bases are multiples of 64, so words line up without shifting.
+  int NewBase = std::min(Base, Other.Base);
+  int ThisEnd = Base + static_cast<int>(Words.size() * 64);
+  int OtherEnd = Other.Base + static_cast<int>(Other.Words.size() * 64);
+  int NewEnd = std::max(ThisEnd, OtherEnd);
+  if (NewBase < Base)
+    Words.insert(Words.begin(),
+                 static_cast<size_t>(Base - NewBase) / 64, 0);
+  Words.resize(static_cast<size_t>(NewEnd - NewBase) / 64, 0);
+  Base = NewBase;
+
+  size_t Offset = static_cast<size_t>(Other.Base - Base) / 64;
+  size_t NewCount = 0;
+  for (size_t I = 0; I < Other.Words.size(); ++I)
+    Words[Offset + I] |= Other.Words[I];
+  for (uint64_t W : Words)
+    NewCount += static_cast<size_t>(std::popcount(W));
+  Count = NewCount;
+}
+
+std::vector<int> LatencySet::values() const {
+  std::vector<int> Result;
+  Result.reserve(Count);
+  for (int V : *this)
+    Result.push_back(V);
+  return Result;
 }
 
 size_t LatencySet::nonnegativeCount() const {
-  auto It = std::lower_bound(Values.begin(), Values.end(), 0);
-  return static_cast<size_t>(Values.end() - It);
+  if (Words.empty())
+    return 0;
+  if (Base >= 0)
+    return Count;
+  size_t Negative = 0;
+  size_t ZeroBit = static_cast<size_t>(-Base); // bit index of latency 0
+  size_t FullWords = std::min(ZeroBit / 64, Words.size());
+  for (size_t I = 0; I < FullWords; ++I)
+    Negative += static_cast<size_t>(std::popcount(Words[I]));
+  if (ZeroBit / 64 < Words.size() && ZeroBit % 64 != 0) {
+    uint64_t BelowMask = (uint64_t(1) << (ZeroBit % 64)) - 1;
+    Negative +=
+        static_cast<size_t>(std::popcount(Words[ZeroBit / 64] & BelowMask));
+  }
+  return Count - Negative;
 }
 
 LatencySet LatencySet::negated() const {
-  std::vector<int> Negated;
-  Negated.reserve(Values.size());
-  for (auto It = Values.rbegin(); It != Values.rend(); ++It)
-    Negated.push_back(-*It);
   LatencySet Result;
-  Result.Values = std::move(Negated);
+  for (int V : *this)
+    Result.insert(-V);
   return Result;
 }
 
 bool LatencySet::isSubsetOf(const LatencySet &Other) const {
-  return std::includes(Other.Values.begin(), Other.Values.end(),
-                       Values.begin(), Values.end());
+  if (Count > Other.Count)
+    return false;
+  if (Words.empty())
+    return true;
+  if (Base < Other.Base ||
+      Base + static_cast<int>(Words.size() * 64) >
+          Other.Base + static_cast<int>(Other.Words.size() * 64)) {
+    // Our canonical span pokes out of Other's: our min or max is missing.
+    return false;
+  }
+  size_t Offset = static_cast<size_t>(Base - Other.Base) / 64;
+  for (size_t I = 0; I < Words.size(); ++I)
+    if (Words[I] & ~Other.Words[Offset + I])
+      return false;
+  return true;
 }

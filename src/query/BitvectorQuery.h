@@ -23,7 +23,6 @@
 
 #include "query/QueryModule.h"
 
-#include <map>
 #include <unordered_map>
 
 namespace rmd {
@@ -124,9 +123,25 @@ private:
 
   std::vector<uint8_t> SelfConflict; // modulo mode only
 
+  /// FNV-1a over an alternative group's op list. Groups are short (a
+  /// handful of ids), so hashing one is a few multiplies — far cheaper
+  /// than the O(log n) lexicographic vector comparisons an ordered map
+  /// spends per lookup on the scheduler's hot union path.
+  struct OpListHash {
+    size_t operator()(const std::vector<OpId> &Ops) const {
+      uint64_t H = 0xcbf29ce484222325ull;
+      for (OpId Op : Ops) {
+        H ^= Op;
+        H *= 0x00000100000001b3ull;
+      }
+      return static_cast<size_t>(H);
+    }
+  };
+
   /// Cached union patterns per alternative group (keyed by the group's op
   /// list), one word list per phase.
-  std::map<std::vector<OpId>, std::vector<std::vector<WordMask>>>
+  std::unordered_map<std::vector<OpId>, std::vector<std::vector<WordMask>>,
+                     OpListHash>
       UnionPatterns;
 
   const std::vector<std::vector<WordMask>> &

@@ -2,8 +2,10 @@
 
 #include "reduce/GeneratingSet.h"
 
+#include "support/ThreadPool.h"
+
 #include <algorithm>
-#include <set>
+#include <unordered_map>
 
 using namespace rmd;
 
@@ -73,38 +75,63 @@ private:
   std::vector<uint8_t> Table;
 };
 
-/// 64-bit membership signature of a usage set, for fast subset prefilters:
-/// U subset of V implies sig(U) & ~sig(V) == 0.
+/// 64-bit membership signature of one usage, for Bloom-style subset
+/// prefilters: U subset of V implies sig(U) & ~sig(V) == 0.
+uint64_t usageBit(const SynthUsage &U) {
+  uint64_t H = (static_cast<uint64_t>(U.Op) * 0x9e3779b97f4a7c15ull) ^
+               (static_cast<uint64_t>(static_cast<uint32_t>(U.Cycle)) *
+                0xbf58476d1ce4e5b9ull);
+  return 1ull << (H >> 58);
+}
+
 uint64_t usageSignature(const std::vector<SynthUsage> &Usages) {
   uint64_t Sig = 0;
-  for (const SynthUsage &U : Usages) {
-    uint64_t H = (static_cast<uint64_t>(U.Op) * 0x9e3779b97f4a7c15ull) ^
-                 (static_cast<uint64_t>(static_cast<uint32_t>(U.Cycle)) *
-                  0xbf58476d1ce4e5b9ull);
-    Sig |= 1ull << (H >> 58);
-  }
+  for (const SynthUsage &U : Usages)
+    Sig |= usageBit(U);
   return Sig;
 }
 
-} // namespace
+/// Exact-match key of one usage for the inverted posting index.
+uint64_t usageKey(const SynthUsage &U) {
+  return (static_cast<uint64_t>(U.Op) << 32) |
+         static_cast<uint32_t>(U.Cycle);
+}
 
-std::vector<SynthesizedResource>
-rmd::buildGeneratingSet(const ForbiddenLatencyMatrix &FLM,
-                        const GeneratingSetTrace *Trace) {
-  DenseForbidden Dense(FLM);
-
+/// The mutable fold state: the resource set plus the two acceleration
+/// structures that keep addResource() cheap — a Bloom signature per
+/// resource and an inverted index from usage to the resources containing
+/// it. Resources only ever grow (Rule 1 adds usages, nothing removes
+/// them), so posting lists never go stale.
+struct FoldState {
   std::vector<SynthesizedResource> Set;
   std::vector<uint64_t> Sig; // usage-set signature per resource
-  // Usage sets already present, to suppress exact duplicates.
-  std::set<std::vector<SynthUsage>> Seen;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> Postings;
+
+  void indexUsage(const SynthUsage &U, uint32_t Resource) {
+    Postings[usageKey(U)].push_back(Resource);
+  }
 
   /// True if \p Usages (sorted) is a subset of some current resource.
   /// Discarding subsets is safe: Theorem 1's reconstruction argument only
   /// needs *some* resource containing the accumulated usages, and a
-  /// superset keeps accumulating whatever the subset would have.
-  auto subsumed = [&](const std::vector<SynthUsage> &Usages,
-                      uint64_t Signature) {
-    for (size_t I = 0; I < Set.size(); ++I) {
+  /// superset keeps accumulating whatever the subset would have. Exact
+  /// duplicates are subsets too, so this one test also deduplicates.
+  ///
+  /// Instead of scanning the whole set, only resources containing the
+  /// candidate's rarest usage are candidates (a superset must contain
+  /// every usage); the Bloom signature filters the survivors before the
+  /// O(n) verification.
+  bool subsumed(const std::vector<SynthUsage> &Usages,
+                uint64_t Signature) const {
+    const std::vector<uint32_t> *Shortest = nullptr;
+    for (const SynthUsage &U : Usages) {
+      auto It = Postings.find(usageKey(U));
+      if (It == Postings.end())
+        return false; // nothing contains this usage at all
+      if (!Shortest || It->second.size() < Shortest->size())
+        Shortest = &It->second;
+    }
+    for (uint32_t I : *Shortest) {
       if ((Signature & ~Sig[I]) != 0)
         continue;
       if (std::includes(Set[I].usages().begin(), Set[I].usages().end(),
@@ -112,20 +139,52 @@ rmd::buildGeneratingSet(const ForbiddenLatencyMatrix &FLM,
         return true;
     }
     return false;
-  };
+  }
 
-  auto addResource = [&](SynthesizedResource R) -> int {
+  /// Adds \p R unless it is subsumed; returns the new index or -1.
+  int addResource(SynthesizedResource R) {
     uint64_t Signature = usageSignature(R.usages());
     if (subsumed(R.usages(), Signature))
       return -1;
-    if (!Seen.insert(R.usages()).second)
-      return -1;
+    uint32_t Index = static_cast<uint32_t>(Set.size());
+    for (const SynthUsage &U : R.usages())
+      indexUsage(U, Index);
     Set.push_back(std::move(R));
     Sig.push_back(Signature);
-    return static_cast<int>(Set.size() - 1);
-  };
+    return static_cast<int>(Index);
+  }
+
+  /// Rule 1: merges \p U into resource \p I, keeping signature and
+  /// postings current. Pair usages have nonnegative cycles and every
+  /// resource is anchored at cycle 0, so the merge never re-translates
+  /// existing usages and their posting entries stay valid.
+  void mergeUsage(uint32_t I, const SynthUsage &U) {
+    if (Set[I].contains(U))
+      return;
+    Set[I].insert(U);
+    Sig[I] |= usageBit(U);
+    indexUsage(U, I);
+  }
+};
+
+/// Per-resource verdict of one elementary pair's compatibility scan.
+/// Computed read-only against the pre-fold resource state, so a block of
+/// verdicts can be filled by concurrent threads.
+struct PairVerdict {
+  bool Fully = false;
+  std::vector<SynthUsage> Compatible;
+};
+
+} // namespace
+
+std::vector<SynthesizedResource>
+rmd::buildGeneratingSet(const ForbiddenLatencyMatrix &FLM,
+                        const GeneratingSetTrace *Trace, ThreadPool *Pool) {
+  DenseForbidden Dense(FLM);
+  FoldState State;
 
   std::vector<OpId> PairedOps(FLM.numOperations(), 0);
+  std::vector<PairVerdict> Verdicts;
 
   for (const ElementaryPair &P : enumerateElementaryPairs(FLM)) {
     if (Trace && Trace->OnPair)
@@ -133,45 +192,60 @@ rmd::buildGeneratingSet(const ForbiddenLatencyMatrix &FLM,
     PairedOps[P.First.Op] = 1;
     PairedOps[P.Second.Op] = 1;
 
-    bool PairTogether = false;
-    // Only resources that existed when this pair's processing started are
-    // considered; resources spawned by Rule 2 for this pair already contain
-    // it.
-    size_t End = Set.size();
-    for (size_t I = 0; I < End; ++I) {
-      SynthesizedResource &Q = Set[I];
-      std::vector<SynthUsage> Compatible;
-      bool Fully = true;
-      for (const SynthUsage &U : Q.usages()) {
-        if (Dense.compatible(U, P.First) && Dense.compatible(U, P.Second))
-          Compatible.push_back(U);
-        else
-          Fully = false;
+    // Scan phase (parallel): compatibility of the pair against every
+    // resource that existed when this pair's processing started. Verdicts
+    // depend only on the forbidden latencies and each resource's current
+    // usages — Rules 1/2 below never change another resource's verdict —
+    // so this phase reads exactly what the sequential fold would read.
+    size_t End = State.Set.size();
+    if (Verdicts.size() < End)
+      Verdicts.resize(End);
+    auto Scan = [&](size_t Begin, size_t BlockEnd) {
+      for (size_t I = Begin; I < BlockEnd; ++I) {
+        PairVerdict &V = Verdicts[I];
+        V.Fully = true;
+        V.Compatible.clear();
+        for (const SynthUsage &U : State.Set[I].usages()) {
+          if (Dense.compatible(U, P.First) && Dense.compatible(U, P.Second))
+            V.Compatible.push_back(U);
+          else
+            V.Fully = false;
+        }
       }
+    };
+    if (Pool && End >= 64)
+      Pool->parallelFor(0, End, Scan, /*MinPerBlock=*/16);
+    else
+      Scan(0, End);
 
-      if (Fully) {
-        // Rule 1: fully compatible; merge the pair into Q.
-        Seen.erase(Q.usages());
-        Q.insert(P.First);
-        Q.insert(P.Second);
-        Seen.insert(Q.usages());
-        Sig[I] = usageSignature(Q.usages());
+    // Apply phase (sequential, resource-index order — the same order the
+    // sequential fold uses, so the folded set is bit-identical).
+    bool PairTogether = false;
+    for (size_t I = 0; I < End; ++I) {
+      PairVerdict &V = Verdicts[I];
+
+      if (V.Fully) {
+        // Rule 1: fully compatible; merge the pair into the resource.
+        State.mergeUsage(static_cast<uint32_t>(I), P.First);
+        State.mergeUsage(static_cast<uint32_t>(I), P.Second);
         PairTogether = true;
         if (Trace && Trace->OnRule)
           Trace->OnRule(GeneratingRule::Rule1, I);
         continue;
       }
 
-      // Rule 2: partially compatible; spawn pair + compatible subset of Q,
+      // Rule 2: partially compatible; spawn pair + compatible subset,
       // unless that subset is empty (new resource would be the bare pair).
-      if (Compatible.empty()) {
+      if (V.Compatible.empty()) {
         if (Trace && Trace->OnRule)
           Trace->OnRule(GeneratingRule::Rule2Discard, I);
         continue;
       }
-      Compatible.push_back(P.First);
-      Compatible.push_back(P.Second);
-      int NewIndex = addResource(SynthesizedResource(std::move(Compatible)));
+      std::vector<SynthUsage> Candidate = std::move(V.Compatible);
+      Candidate.push_back(P.First);
+      Candidate.push_back(P.Second);
+      int NewIndex =
+          State.addResource(SynthesizedResource(std::move(Candidate)));
       PairTogether = true; // together in the new or in a subsuming resource
       if (NewIndex >= 0 && Trace && Trace->OnRule)
         Trace->OnRule(GeneratingRule::Rule2, static_cast<size_t>(NewIndex));
@@ -181,7 +255,8 @@ rmd::buildGeneratingSet(const ForbiddenLatencyMatrix &FLM,
       continue;
 
     // Rule 3: the pair's usages co-reside nowhere; add the pair itself.
-    int NewIndex = addResource(SynthesizedResource({P.First, P.Second}));
+    int NewIndex =
+        State.addResource(SynthesizedResource({P.First, P.Second}));
     if (NewIndex >= 0 && Trace && Trace->OnRule)
       Trace->OnRule(GeneratingRule::Rule3, static_cast<size_t>(NewIndex));
   }
@@ -191,43 +266,91 @@ rmd::buildGeneratingSet(const ForbiddenLatencyMatrix &FLM,
   for (OpId Op = 0; Op < FLM.numOperations(); ++Op) {
     if (PairedOps[Op] || !FLM.isForbidden(Op, Op, 0))
       continue;
-    int NewIndex = addResource(SynthesizedResource({SynthUsage{Op, 0}}));
+    int NewIndex = State.addResource(SynthesizedResource({SynthUsage{Op, 0}}));
     if (NewIndex >= 0 && Trace && Trace->OnRule)
       Trace->OnRule(GeneratingRule::Rule4, static_cast<size_t>(NewIndex));
   }
 
-  return Set;
+  return std::move(State.Set);
 }
 
+namespace {
+
+/// Bloom signature of a generated latency set, for prune prefiltering.
+uint64_t latencySignature(const std::vector<ForbiddenLatency> &Latencies) {
+  uint64_t Sig = 0;
+  for (const ForbiddenLatency &L : Latencies) {
+    uint64_t H = (static_cast<uint64_t>(L.After) * 0x9e3779b97f4a7c15ull) ^
+                 (static_cast<uint64_t>(L.Before) * 0xbf58476d1ce4e5b9ull) ^
+                 (static_cast<uint64_t>(static_cast<uint32_t>(L.Latency)) *
+                  0x94d049bb133111ebull);
+    Sig |= 1ull << (H >> 58);
+  }
+  return Sig;
+}
+
+} // namespace
+
 std::vector<SynthesizedResource>
-rmd::pruneGeneratingSet(std::vector<SynthesizedResource> Set) {
-  // Precompute generated latency sets; process small resources first so a
-  // submaximal resource is removed in favour of a larger one covering it.
-  std::vector<std::vector<ForbiddenLatency>> Generated;
-  Generated.reserve(Set.size());
-  for (const SynthesizedResource &R : Set)
-    Generated.push_back(R.generatedLatencies());
+rmd::pruneGeneratingSet(std::vector<SynthesizedResource> Set,
+                        ThreadPool *Pool) {
+  // Precompute generated latency sets (independent per resource).
+  std::vector<std::vector<ForbiddenLatency>> Generated(Set.size());
+  auto Precompute = [&](size_t Begin, size_t End) {
+    for (size_t I = Begin; I < End; ++I)
+      Generated[I] = Set[I].generatedLatencies();
+  };
+  if (Pool)
+    Pool->parallelFor(0, Set.size(), Precompute, /*MinPerBlock=*/8);
+  else
+    Precompute(0, Set.size());
 
-  std::vector<size_t> Order(Set.size());
-  for (size_t I = 0; I < Order.size(); ++I)
-    Order[I] = I;
-  std::stable_sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
-    return Generated[A].size() < Generated[B].size();
-  });
+  std::vector<uint64_t> Sig(Set.size());
+  for (size_t I = 0; I < Set.size(); ++I)
+    Sig[I] = latencySignature(Generated[I]);
 
-  std::vector<bool> Removed(Set.size(), false);
-  for (size_t I : Order) {
-    for (size_t J = 0; J < Set.size(); ++J) {
-      if (J == I || Removed[J])
-        continue;
-      if (Generated[J].size() >= Generated[I].size() &&
-          std::includes(Generated[J].begin(), Generated[J].end(),
-                        Generated[I].begin(), Generated[I].end())) {
-        Removed[I] = true;
-        break;
+  // The historical sweep processed resources smallest-set-first and
+  // removed each one covered by a not-yet-removed resource. That is
+  // equivalent to this order-free rule (a cover is strictly larger, or
+  // equal with a later position, and the largest element of any cover
+  // chain always survives): remove I iff some J generates a strict
+  // superset, or generates the identical set and has the larger index.
+  // Per-resource verdicts are independent, hence the parallelFor.
+  std::vector<size_t> BySizeDesc(Set.size());
+  for (size_t I = 0; I < BySizeDesc.size(); ++I)
+    BySizeDesc[I] = I;
+  std::stable_sort(BySizeDesc.begin(), BySizeDesc.end(),
+                   [&](size_t A, size_t B) {
+                     return Generated[A].size() > Generated[B].size();
+                   });
+
+  std::vector<uint8_t> Removed(Set.size(), 0);
+  auto Judge = [&](size_t Begin, size_t End) {
+    for (size_t I = Begin; I < End; ++I) {
+      for (size_t J : BySizeDesc) {
+        if (Generated[J].size() < Generated[I].size())
+          break; // only larger-or-equal sets can cover; list is sorted
+        if (J == I || (Sig[I] & ~Sig[J]) != 0)
+          continue;
+        if (Generated[J].size() == Generated[I].size()) {
+          if (J > I && Generated[J] == Generated[I]) {
+            Removed[I] = 1;
+            break;
+          }
+          continue;
+        }
+        if (std::includes(Generated[J].begin(), Generated[J].end(),
+                          Generated[I].begin(), Generated[I].end())) {
+          Removed[I] = 1;
+          break;
+        }
       }
     }
-  }
+  };
+  if (Pool)
+    Pool->parallelFor(0, Set.size(), Judge, /*MinPerBlock=*/8);
+  else
+    Judge(0, Set.size());
 
   std::vector<SynthesizedResource> Pruned;
   for (size_t I = 0; I < Set.size(); ++I)

@@ -31,6 +31,8 @@
 
 namespace rmd {
 
+class ThreadPool;
+
 /// An elementary pair: the two usages {(X, 0), (Y, F)} associated with the
 /// nonnegative forbidden latency F in F(X, Y) — Y issues F cycles after X...
 /// precisely, co-locating them forbids exactly latency F in F(X, Y).
@@ -65,16 +67,32 @@ enumerateElementaryPairs(const ForbiddenLatencyMatrix &FLM);
 
 /// Runs Algorithm 1 on \p FLM, returning the generating set of maximal
 /// resources (possibly including submaximal extras).
+///
+/// With \p Pool, the per-pair compatibility scan over the accumulated
+/// resources runs in parallel blocks; Rules 1–4 are then applied
+/// sequentially in resource-index order from the precomputed compatibility
+/// verdicts. The verdicts are read-only functions of the forbidden
+/// latencies and of resource state *before* the pair is folded — exactly
+/// what the sequential fold reads — so the result is bit-identical to the
+/// sequential fold at every thread count.
 std::vector<SynthesizedResource>
 buildGeneratingSet(const ForbiddenLatencyMatrix &FLM,
-                   const GeneratingSetTrace *Trace = nullptr);
+                   const GeneratingSetTrace *Trace = nullptr,
+                   ThreadPool *Pool = nullptr);
 
 /// First phase of the selection heuristic (Section 5): successively removes
 /// every resource whose generated latency set is covered by some remaining
 /// resource. Eliminates submaximal resources, duplicate maximals, and
 /// mirror images.
+///
+/// Removal is computed with the order-free characterization of the
+/// sequential sweep — resource I is removed iff some J generates a strict
+/// superset, or generates the same set and has the larger index — so
+/// per-resource verdicts are independent and parallelize over \p Pool
+/// without changing the result.
 std::vector<SynthesizedResource>
-pruneGeneratingSet(std::vector<SynthesizedResource> Set);
+pruneGeneratingSet(std::vector<SynthesizedResource> Set,
+                   ThreadPool *Pool = nullptr);
 
 } // namespace rmd
 

@@ -4,6 +4,7 @@
 
 #include "reduce/Metrics.h"
 #include "support/FatalError.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <limits>
@@ -57,15 +58,19 @@ ReductionResult rmd::reduceMachine(const MachineDescription &MD,
          "reduceMachine requires an expanded machine; call "
          "expandAlternatives() first");
 
-  ForbiddenLatencyMatrix FLM = ForbiddenLatencyMatrix::compute(MD);
+  // One pool for every parallel phase; a single-thread pool runs inline.
+  ThreadPool Pool(ThreadPool::resolveThreadCount(Options.Threads));
+  ThreadPool *PoolPtr = Pool.concurrency() > 1 ? &Pool : nullptr;
+
+  ForbiddenLatencyMatrix FLM = ForbiddenLatencyMatrix::compute(MD, PoolPtr);
 
   ReductionResult Result;
   std::vector<SynthesizedResource> Generating =
-      buildGeneratingSet(FLM, Options.Trace);
+      buildGeneratingSet(FLM, Options.Trace, PoolPtr);
   Result.GeneratingSetSize = Generating.size();
 
   std::vector<SynthesizedResource> Pruned =
-      pruneGeneratingSet(std::move(Generating));
+      pruneGeneratingSet(std::move(Generating), PoolPtr);
   Result.PrunedSetSize = Pruned.size();
 
   SelectionResult Selection = selectCover(FLM, Pruned, Options.Objective);
@@ -93,7 +98,10 @@ ReductionResult rmd::reduceMachine(const MachineDescription &MD,
       Result.Reduced = std::move(ResReduced);
   }
 
-  if (Options.Verify && !verifyEquivalence(MD, Result.Reduced))
+  // Re-check against the *already computed* original matrix (sharing the
+  // pool), rather than verifyEquivalence()'s two fresh sequential computes.
+  if (Options.Verify &&
+      !(FLM == ForbiddenLatencyMatrix::compute(Result.Reduced, PoolPtr)))
     fatalError("reduction failed to preserve the forbidden latency matrix; "
                "this is a bug in the reducer");
   return Result;

@@ -1,0 +1,174 @@
+//===- reduce/ReductionCache.cpp ------------------------------------------===//
+
+#include "reduce/ReductionCache.h"
+
+#include "mdl/Parser.h"
+#include "mdl/Writer.h"
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+using namespace rmd;
+
+static const char *CacheMagic = "# rmd-reduction-cache v1";
+
+ReductionCache::ReductionCache(std::string TheDirectory)
+    : Directory(std::move(TheDirectory)) {
+  std::error_code EC;
+  std::filesystem::create_directories(Directory, EC);
+  Enabled = !EC && std::filesystem::is_directory(Directory, EC);
+}
+
+std::optional<ReductionCache> ReductionCache::fromEnvironment() {
+  const char *Dir = std::getenv("RMD_REDUCTION_CACHE");
+  if (!Dir || !*Dir)
+    return std::nullopt;
+  return ReductionCache(Dir);
+}
+
+std::string ReductionCache::key(const MachineDescription &MD,
+                                const SelectionObjective &Objective) {
+  // FNV-1a over a version tag, the objective, and the canonical MDL text.
+  // NUL separators keep adjacent fields from aliasing.
+  uint64_t H = 0xcbf29ce484222325ull;
+  auto Mix = [&H](std::string_view Bytes) {
+    for (char C : Bytes) {
+      H ^= static_cast<uint8_t>(C);
+      H *= 0x00000100000001b3ull;
+    }
+    H ^= 0;
+    H *= 0x00000100000001b3ull;
+  };
+  Mix("rmd-reduction-cache-v1");
+  Mix(Objective.ObjectiveKind == SelectionObjective::ResUses ? "res-uses"
+                                                             : "word-uses");
+  Mix(std::to_string(Objective.CyclesPerWord));
+  Mix(writeMdl(MD));
+
+  static const char Hex[] = "0123456789abcdef";
+  std::string Key(16, '0');
+  for (int I = 15; I >= 0; --I, H >>= 4)
+    Key[static_cast<size_t>(I)] = Hex[H & 0xf];
+  return Key;
+}
+
+std::string ReductionCache::entryPath(const std::string &Key) const {
+  return Directory + "/" + Key + ".mdl";
+}
+
+std::optional<ReductionResult>
+ReductionCache::load(const std::string &Key) const {
+  if (!Enabled)
+    return std::nullopt;
+  std::string Path = entryPath(Key);
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return std::nullopt;
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  std::string Text = Buffer.str();
+
+  // The header rides in '#' comment lines the MDL parser skips, so the
+  // whole file parses as MDL; the header is validated by hand first. Any
+  // malformed entry — truncation, corruption, version or key skew — is
+  // treated as a miss and evicted so the slot heals on the next store.
+  auto Reject = [&]() -> std::optional<ReductionResult> {
+    std::error_code EC;
+    std::filesystem::remove(Path, EC);
+    return std::nullopt;
+  };
+
+  std::istringstream Lines(Text);
+  std::string Line;
+  if (!std::getline(Lines, Line) || Line != CacheMagic)
+    return Reject();
+  if (!std::getline(Lines, Line) || Line != "# key " + Key)
+    return Reject();
+  ReductionResult Result;
+  if (!std::getline(Lines, Line))
+    return Reject();
+  {
+    std::istringstream Stats(Line);
+    std::string Hash, Word;
+    if (!(Stats >> Hash >> Word >> Result.GeneratingSetSize >>
+          Result.PrunedSetSize >> Result.CoveredLatencies) ||
+        Hash != "#" || Word != "stats")
+      return Reject();
+  }
+
+  DiagnosticEngine Diags;
+  std::optional<MachineDescription> MD = parseMdl(Text, Diags);
+  if (!MD || Diags.hasErrors())
+    return Reject();
+  Result.Reduced = std::move(*MD);
+  return Result;
+}
+
+void ReductionCache::store(const std::string &Key,
+                           const ReductionResult &Result) const {
+  if (!Enabled)
+    return;
+  std::string Path = entryPath(Key);
+  // Write-then-rename so concurrent readers either see the old entry or
+  // the complete new one, never a torn write.
+  std::string Tmp =
+      Path + ".tmp" + std::to_string(static_cast<unsigned>(::getpid()));
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out)
+      return;
+    Out << CacheMagic << "\n";
+    Out << "# key " << Key << "\n";
+    Out << "# stats " << Result.GeneratingSetSize << " "
+        << Result.PrunedSetSize << " " << Result.CoveredLatencies << "\n";
+    Out << writeMdl(Result.Reduced);
+    if (!Out) {
+      Out.close();
+      std::error_code EC;
+      std::filesystem::remove(Tmp, EC);
+      return;
+    }
+  }
+  std::error_code EC;
+  std::filesystem::rename(Tmp, Path, EC);
+  if (EC)
+    std::filesystem::remove(Tmp, EC);
+}
+
+void ReductionCache::evict(const std::string &Key) const {
+  if (!Enabled)
+    return;
+  std::error_code EC;
+  std::filesystem::remove(entryPath(Key), EC);
+}
+
+ReductionResult ReductionCache::reduce(const MachineDescription &MD,
+                                       const ReductionOptions &Options,
+                                       bool *Hit) const {
+  if (Hit)
+    *Hit = false;
+  if (Options.Trace) // a cache hit would silently skip the traced fold
+    return reduceMachine(MD, Options);
+  std::string Key = key(MD, Options.Objective);
+  if (std::optional<ReductionResult> Cached = load(Key)) {
+    if (Hit)
+      *Hit = true;
+    return std::move(*Cached);
+  }
+  ReductionResult Result = reduceMachine(MD, Options);
+  store(Key, Result);
+  return Result;
+}
+
+ReductionResult rmd::reduceMachineCached(const MachineDescription &MD,
+                                         const ReductionOptions &Options) {
+  if (std::optional<ReductionCache> Cache = ReductionCache::fromEnvironment())
+    return Cache->reduce(MD, Options);
+  return reduceMachine(MD, Options);
+}

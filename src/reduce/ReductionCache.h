@@ -1,0 +1,86 @@
+//===- reduce/ReductionCache.h - On-disk memoized reductions ---*- C++ -*-===//
+///
+/// \file
+/// A content-addressed on-disk cache of reduction results. The key is a
+/// hash of the *canonical MDL serialization* of the input machine plus the
+/// selection objective, so any two descriptions that serialize identically
+/// share an entry regardless of how they were built (parsed from a file,
+/// constructed programmatically, or expanded from alternatives), and any
+/// semantic change to the machine — a renamed operation, a shifted usage —
+/// changes the key.
+///
+/// Entries are MDL files with a stats header in `#` comments, parsed back
+/// with the ordinary parser. The cache is strictly best-effort: a missing,
+/// truncated, corrupt, or version-skewed entry is a miss (the reduction is
+/// recomputed and the entry rewritten), never an error. Stores write to a
+/// temporary file and rename, so a crashed writer leaves no partial entry
+/// under a valid name.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMD_REDUCE_REDUCTIONCACHE_H
+#define RMD_REDUCE_REDUCTIONCACHE_H
+
+#include "reduce/Reduction.h"
+
+#include <optional>
+#include <string>
+
+namespace rmd {
+
+class ReductionCache {
+public:
+  /// Opens (creating if needed) the cache rooted at \p Directory. An
+  /// uncreatable directory disables the cache (every lookup misses, every
+  /// store is dropped) rather than failing.
+  explicit ReductionCache(std::string Directory);
+
+  /// The cache honoring the RMD_REDUCTION_CACHE environment variable, or
+  /// std::nullopt when the variable is unset or empty. The conventional way
+  /// for tools and benches to opt in without growing flags everywhere.
+  static std::optional<ReductionCache> fromEnvironment();
+
+  /// The content-addressed key of reducing \p MD under \p Objective.
+  /// Stable across processes and runs; embeds a format version.
+  static std::string key(const MachineDescription &MD,
+                         const SelectionObjective &Objective);
+
+  /// Loads the entry for \p Key. Returns std::nullopt on miss or on any
+  /// malformed entry (and quietly removes the latter).
+  std::optional<ReductionResult> load(const std::string &Key) const;
+
+  /// Stores \p Result under \p Key (best-effort; failures are ignored).
+  void store(const std::string &Key, const ReductionResult &Result) const;
+
+  /// Removes the entry for \p Key if present (best-effort). Benches use
+  /// this to force cache-cold measurements.
+  void evict(const std::string &Key) const;
+
+  /// Cached front-end to reduceMachine(): on a hit, returns the stored
+  /// result without reducing; on a miss, reduces and stores. \p Hit, when
+  /// non-null, reports which happened. Options.Trace suppresses caching
+  /// entirely (a hit would skip the traced fold the caller asked to see).
+  ReductionResult reduce(const MachineDescription &MD,
+                         const ReductionOptions &Options = {},
+                         bool *Hit = nullptr) const;
+
+  const std::string &directory() const { return Directory; }
+  bool enabled() const { return Enabled; }
+
+private:
+  std::string entryPath(const std::string &Key) const;
+
+  std::string Directory;
+  bool Enabled = false;
+};
+
+/// reduceMachine() through the RMD_REDUCTION_CACHE environment cache when
+/// that variable is set, plain reduceMachine() otherwise. Call sites that
+/// just want "the reduced machine, memoized if the user opted in" use this
+/// instead of growing their own cache plumbing.
+ReductionResult reduceMachineCached(const MachineDescription &MD,
+                                    const ReductionOptions &Options = {});
+
+} // namespace rmd
+
+#endif // RMD_REDUCE_REDUCTIONCACHE_H

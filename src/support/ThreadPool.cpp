@@ -1,0 +1,102 @@
+//===- support/ThreadPool.cpp ---------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+
+using namespace rmd;
+
+unsigned ThreadPool::resolveThreadCount(unsigned Threads) {
+  if (Threads != 0)
+    return Threads;
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW == 0 ? 1 : HW;
+}
+
+ThreadPool::ThreadPool(unsigned Threads)
+    : NumThreads(resolveThreadCount(Threads)) {
+  Workers.reserve(NumThreads - 1);
+  for (unsigned W = 0; W + 1 < NumThreads; ++W)
+    Workers.emplace_back([this, W] { workerLoop(W); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  WakeWorkers.notify_all();
+  for (std::thread &T : Workers)
+    T.join();
+}
+
+void ThreadPool::workerLoop(unsigned WorkerIndex) {
+  uint64_t SeenGeneration = 0;
+  for (;;) {
+    const std::function<void(size_t, size_t)> *MyBody = nullptr;
+    size_t BlockBegin = 0, BlockEnd = 0;
+    bool HasBlock = false;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WakeWorkers.wait(Lock, [&] {
+        return ShuttingDown || Generation != SeenGeneration;
+      });
+      if (ShuttingDown)
+        return;
+      SeenGeneration = Generation;
+      // The caller owns block 0; worker W owns block W + 1 (if any).
+      unsigned Block = WorkerIndex + 1;
+      if (Block < NumBlocks) {
+        HasBlock = true;
+        MyBody = Body;
+        BlockBegin = JobBegin + static_cast<size_t>(Block) * BlockSize;
+        BlockEnd = std::min(JobEnd, BlockBegin + BlockSize);
+      }
+    }
+    if (HasBlock) {
+      (*MyBody)(BlockBegin, BlockEnd);
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (--BlocksRemaining == 0)
+        JobDone.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallelFor(size_t Begin, size_t End,
+                             const std::function<void(size_t, size_t)> &TheBody,
+                             size_t MinPerBlock) {
+  size_t N = End > Begin ? End - Begin : 0;
+  if (N == 0)
+    return;
+  MinPerBlock = std::max<size_t>(MinPerBlock, 1);
+  unsigned Blocks = static_cast<unsigned>(
+      std::min<size_t>(NumThreads, (N + MinPerBlock - 1) / MinPerBlock));
+  if (Blocks <= 1) {
+    TheBody(Begin, End);
+    return;
+  }
+  size_t Size = (N + Blocks - 1) / Blocks;
+  // Recompute so every block is nonempty (e.g. N=5 over 4 blocks packs
+  // into 3 blocks of <= 2).
+  Blocks = static_cast<unsigned>((N + Size - 1) / Size);
+
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Body = &TheBody;
+    JobBegin = Begin;
+    JobEnd = End;
+    BlockSize = Size;
+    NumBlocks = Blocks;
+    BlocksRemaining = Blocks;
+    ++Generation;
+  }
+  WakeWorkers.notify_all();
+
+  // The caller is block 0.
+  TheBody(Begin, std::min(End, Begin + Size));
+
+  std::unique_lock<std::mutex> Lock(Mutex);
+  if (--BlocksRemaining != 0)
+    JobDone.wait(Lock, [&] { return BlocksRemaining == 0; });
+  Body = nullptr;
+}

@@ -4,9 +4,11 @@
 #include "support/OnlineStats.h"
 #include "support/RNG.h"
 #include "support/TextTable.h"
+#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <sstream>
 
 using namespace rmd;
@@ -131,4 +133,63 @@ TEST(TextTable, AlignsColumns) {
 TEST(TextTable, FormatFixed) {
   EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
   EXPECT_EQ(formatFixed(2.0, 0), "2");
+}
+
+TEST(ThreadPool, CoversRangeExactlyOnce) {
+  for (unsigned Threads : {1u, 2u, 3u, 8u}) {
+    ThreadPool Pool(Threads);
+    EXPECT_EQ(Pool.concurrency(), Threads);
+    for (size_t N : {0u, 1u, 5u, 7u, 64u, 1000u}) {
+      std::vector<std::atomic<int>> Hits(N);
+      Pool.parallelFor(0, N, [&](size_t Begin, size_t End) {
+        ASSERT_LE(Begin, End);
+        for (size_t I = Begin; I < End; ++I)
+          Hits[I].fetch_add(1, std::memory_order_relaxed);
+      });
+      for (size_t I = 0; I < N; ++I)
+        EXPECT_EQ(Hits[I].load(), 1) << "N=" << N << " I=" << I;
+    }
+  }
+}
+
+TEST(ThreadPool, BlockPartitionIsThreadCountInvariant) {
+  // Writing f(I) into per-index slots must give the same vector at every
+  // thread count (the determinism contract the reduction pipeline needs).
+  auto Run = [](unsigned Threads) {
+    ThreadPool Pool(Threads);
+    std::vector<uint64_t> Out(513);
+    Pool.parallelFor(0, Out.size(), [&](size_t Begin, size_t End) {
+      for (size_t I = Begin; I < End; ++I)
+        Out[I] = I * 2654435761u;
+    });
+    return Out;
+  };
+  std::vector<uint64_t> One = Run(1);
+  EXPECT_EQ(Run(2), One);
+  EXPECT_EQ(Run(8), One);
+}
+
+TEST(ThreadPool, ReusableAcrossManyCalls) {
+  ThreadPool Pool(4);
+  std::atomic<uint64_t> Sum{0};
+  for (int Round = 0; Round < 200; ++Round)
+    Pool.parallelFor(0, 37, [&](size_t Begin, size_t End) {
+      Sum.fetch_add(End - Begin, std::memory_order_relaxed);
+    });
+  EXPECT_EQ(Sum.load(), 200u * 37u);
+}
+
+TEST(ThreadPool, MinPerBlockLimitsSplit) {
+  ThreadPool Pool(8);
+  std::atomic<int> Calls{0};
+  Pool.parallelFor(
+      0, 10,
+      [&](size_t, size_t) { Calls.fetch_add(1, std::memory_order_relaxed); },
+      /*MinPerBlock=*/10);
+  EXPECT_EQ(Calls.load(), 1);
+}
+
+TEST(ThreadPool, ResolveThreadCount) {
+  EXPECT_EQ(ThreadPool::resolveThreadCount(3), 3u);
+  EXPECT_GE(ThreadPool::resolveThreadCount(0), 1u);
 }
