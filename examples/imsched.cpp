@@ -8,10 +8,18 @@
 //
 // Usage:
 //   imsched [--machine=cydra5|alpha21064|mips|playdoh|toyvliw]
-//           [--mdl=<machine.mdl>] [--budget=<ratio>] [loop.graph | -]
+//           [--mdl=<machine.mdl>] [--budget=<ratio>]
+//           [--deadline-ms=<n>] [--faults=<spec>] [loop.graph | -]
 //
 // With no loop file, schedules a built-in sample (the tri-diagonal
 // elimination kernel) so the tool runs out of the box.
+//
+// Failures degrade instead of aborting: a failed reduction schedules
+// against the original description (identical constraints by Theorem 1,
+// with a warning); an infeasible recurrence prints the offending cycle; an
+// expired --deadline-ms reports the partial schedule state. --faults arms
+// the deterministic fault-injection registry (same grammar as RMD_FAULTS;
+// see support/FaultInjection.h).
 //
 //===----------------------------------------------------------------------===//
 
@@ -22,6 +30,8 @@
 #include "sched/GraphIO.h"
 #include "sched/IterativeModuloScheduler.h"
 #include "sched/ScheduleRender.h"
+#include "support/Degradation.h"
+#include "support/FaultInjection.h"
 
 #include <fstream>
 #include <iostream>
@@ -48,7 +58,8 @@ loop tridiag {
 
 static void usage() {
   std::cerr << "usage: imsched [--machine=<name>] [--mdl=<machine.mdl>] "
-               "[--budget=<ratio>] [loop.graph | -]\n";
+               "[--budget=<ratio>] [--deadline-ms=<n>] [--faults=<spec>] "
+               "[loop.graph | -]\n";
 }
 
 int main(int Argc, char **Argv) {
@@ -67,6 +78,20 @@ int main(int Argc, char **Argv) {
       Options.BudgetRatio = std::atoi(Arg.c_str() + sizeof("--budget=") - 1);
       if (Options.BudgetRatio < 1) {
         std::cerr << "imsched: error: bad budget ratio\n";
+        return 1;
+      }
+    } else if (Arg.rfind("--deadline-ms=", 0) == 0) {
+      long Millis = std::atol(Arg.c_str() + sizeof("--deadline-ms=") - 1);
+      if (Millis < 1) {
+        std::cerr << "imsched: error: bad deadline\n";
+        return 1;
+      }
+      Options.TheDeadline = Deadline::afterMillis(Millis);
+    } else if (Arg.rfind("--faults=", 0) == 0) {
+      Status S = FaultInjection::instance().configure(
+          Arg.substr(sizeof("--faults=") - 1));
+      if (!S) {
+        std::cerr << "imsched: error: " << S.render() << "\n";
         return 1;
       }
     } else if (Arg == "--help" || Arg == "-h") {
@@ -137,9 +162,15 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
-  // Reduce the description and schedule against it.
+  // Reduce the description and schedule against it; a failed reduction
+  // falls back to the original description (identical constraints by
+  // Theorem 1, so the schedule below is unaffected).
   ExpandedMachine EM = expandAlternatives(Model.MD);
-  MachineDescription Reduced = reduceMachineCached(EM.Flat).Reduced;
+  SafeReduction Safe = reduceMachineOrFallback(EM.Flat);
+  if (Safe.Degraded)
+    std::cerr << "imsched: warning: " << Safe.Why.render()
+              << "; scheduling against the original description\n";
+  MachineDescription Reduced = std::move(Safe.Result.Reduced);
 
   QueryEnvironment Env;
   Env.FlatMD = &Reduced;
@@ -153,8 +184,26 @@ int main(int Argc, char **Argv) {
   std::cout << "machine " << Model.MD.name() << ", loop '" << G->name()
             << "' (" << G->numNodes() << " ops, " << G->numEdges()
             << " deps)\n";
+  if (R.Outcome == ScheduleOutcome::InfeasibleRecurrence) {
+    std::cerr << "imsched: error: loop '" << G->name() << "': "
+              << R.Error.message() << "\n";
+    return 1;
+  }
   std::cout << "ResMII " << R.Stats.ResMII << ", RecMII " << R.Stats.RecMII
             << " -> MII " << R.Stats.MII << "\n";
+  if (R.Stats.Degradation.total() || Safe.Degraded)
+    std::cerr << "imsched: degradations: "
+              << globalDegradation().snapshot() << "\n";
+  if (R.Outcome == ScheduleOutcome::TimedOut ||
+      R.Outcome == ScheduleOutcome::Cancelled) {
+    size_t Placed = 0;
+    for (int A : R.Alternative)
+      Placed += A >= 0;
+    std::cerr << "imsched: " << R.Error.message() << " (best-so-far: "
+              << Placed << "/" << R.Alternative.size()
+              << " ops placed at II=" << R.II << ")\n";
+    return 1;
+  }
   if (!R.Success) {
     std::cerr << "imsched: no schedule found up to the II ceiling\n";
     return 1;

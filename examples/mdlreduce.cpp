@@ -11,6 +11,7 @@
 //   mdlreduce [--objective=res-uses | --objective=word:<k>]
 //             [--classes] [--stats] [--threads=<n>] [--cache=<dir>]
 //             [--emit=mdl | --emit=c++] [--namespace=<ident>]
+//             [--faults=<spec>]
 //             <input.mdl | ->
 //
 // With no file (or "-"), reads the paper's Figure 1 machine from a
@@ -20,6 +21,14 @@
 // reductions on disk keyed by machine content + objective (the
 // RMD_REDUCTION_CACHE environment variable enables the same cache when
 // the flag is absent); --threads=0 uses all hardware threads.
+//
+// Failures degrade instead of aborting: when reduction (or its
+// re-verification) fails, the tool warns on stderr and emits the
+// *original* description, which by Theorem 1 imposes identical scheduling
+// constraints. --faults arms the deterministic fault-injection registry
+// (same spec grammar as RMD_FAULTS; see support/FaultInjection.h) so the
+// degradation paths can be exercised on demand; --stats reports any
+// degradations taken.
 //
 //===----------------------------------------------------------------------===//
 
@@ -32,6 +41,8 @@
 #include "reduce/Metrics.h"
 #include "reduce/Reduction.h"
 #include "reduce/ReductionCache.h"
+#include "support/Degradation.h"
+#include "support/FaultInjection.h"
 
 #include <fstream>
 #include <iostream>
@@ -53,7 +64,7 @@ static void usage() {
                "[--classes] [--stats] [--explain] [--lint] "
                "[--threads=<n>] [--cache=<dir>] "
                "[--emit=mdl|c++] "
-               "[--namespace=<ident>] [input.mdl]\n";
+               "[--namespace=<ident>] [--faults=<spec>] [input.mdl]\n";
 }
 
 int main(int Argc, char **Argv) {
@@ -98,6 +109,13 @@ int main(int Argc, char **Argv) {
     } else if (Arg.rfind("--threads=", 0) == 0) {
       Threads = static_cast<unsigned>(
           std::atoi(Arg.c_str() + sizeof("--threads=") - 1));
+    } else if (Arg.rfind("--faults=", 0) == 0) {
+      Status S = FaultInjection::instance().configure(
+          Arg.substr(sizeof("--faults=") - 1));
+      if (!S) {
+        std::cerr << "mdlreduce: error: " << S.render() << "\n";
+        return 1;
+      }
     } else if (Arg == "--classes") {
       UseClasses = true;
     } else if (Arg == "--stats") {
@@ -164,8 +182,13 @@ int main(int Argc, char **Argv) {
       CacheDir.empty() ? ReductionCache::fromEnvironment()
                        : std::make_optional(ReductionCache(CacheDir));
   bool CacheHit = false;
-  ReductionResult Result = Cache ? Cache->reduce(Flat, Options, &CacheHit)
-                                 : reduceMachine(Flat, Options);
+  SafeReduction Safe = reduceMachineOrFallback(
+      Flat, Options, Cache ? &*Cache : nullptr, &CacheHit);
+  if (Safe.Degraded)
+    std::cerr << "mdlreduce: warning: " << Safe.Why.render()
+              << "; emitting the original description (identical "
+                 "constraints, more per-query work)\n";
+  ReductionResult &Result = Safe.Result;
 
   if (PrintStats) {
     if (Cache)
@@ -182,6 +205,7 @@ int main(int Argc, char **Argv) {
     std::cerr << "avg res usages/op: "
               << averageResUsesPerOperation(Flat) << " -> "
               << averageResUsesPerOperation(Result.Reduced) << "\n";
+    std::cerr << "degradations: " << globalDegradation().snapshot() << "\n";
   }
 
   if (Explain)

@@ -2,6 +2,9 @@
 
 #include "automaton/AutomatonQuery.h"
 
+#include "query/BitvectorQuery.h"
+#include "query/DiscreteQuery.h"
+#include "support/Degradation.h"
 #include "support/FatalError.h"
 
 #include <algorithm>
@@ -9,20 +12,30 @@
 
 using namespace rmd;
 
-/// Unwraps an automaton build, aborting on state-space overflow (the
-/// caller opted into the automaton representation; there is no fallback).
+/// Unwraps an automaton build for the aborting constructor (the caller
+/// opted into the automaton representation with no recovery path;
+/// tryCreate() / makeAutomatonOrFallback() are the recoverable faces).
 static PipelineAutomaton takeOrDie(std::optional<PipelineAutomaton> A) {
   if (!A)
-    fatalError("automaton construction exceeded the state cap; use a "
-               "reservation-table query module for this machine");
+    fatalError("automaton construction exceeded the state cap; use "
+               "AutomatonQueryModule::tryCreate() or a reservation-table "
+               "query module for this machine");
   return std::move(*A);
 }
 
 AutomatonQueryModule::AutomatonQueryModule(const MachineDescription &TheMD,
                                            int TheHorizon, size_t StateCap)
-    : MD(TheMD), Horizon(TheHorizon),
-      Forward(takeOrDie(PipelineAutomaton::build(TheMD, StateCap))),
-      Reverse(takeOrDie(PipelineAutomaton::buildReverse(TheMD, StateCap))) {
+    : AutomatonQueryModule(
+          TheMD, TheHorizon,
+          takeOrDie(PipelineAutomaton::build(TheMD, StateCap)),
+          takeOrDie(PipelineAutomaton::buildReverse(TheMD, StateCap))) {}
+
+AutomatonQueryModule::AutomatonQueryModule(const MachineDescription &TheMD,
+                                           int TheHorizon,
+                                           PipelineAutomaton TheForward,
+                                           PipelineAutomaton TheReverse)
+    : MD(TheMD), Horizon(TheHorizon), Forward(std::move(TheForward)),
+      Reverse(std::move(TheReverse)) {
   assert(MD.isExpanded() && "query module requires an expanded machine");
   assert(Horizon > 0 && "horizon must be positive");
   IssuedAt.resize(Horizon);
@@ -31,6 +44,41 @@ AutomatonQueryModule::AutomatonQueryModule(const MachineDescription &TheMD,
                        Forward.initialState());
   ReverseBefore.assign(static_cast<size_t>(Horizon),
                        Reverse.initialState());
+}
+
+Expected<std::unique_ptr<AutomatonQueryModule>>
+AutomatonQueryModule::tryCreate(const MachineDescription &MD, int Horizon,
+                                size_t StateCap) {
+  std::optional<PipelineAutomaton> Forward =
+      PipelineAutomaton::build(MD, StateCap);
+  std::optional<PipelineAutomaton> Reverse =
+      Forward ? PipelineAutomaton::buildReverse(MD, StateCap) : std::nullopt;
+  if (!Forward || !Reverse)
+    return Status(ErrorCode::StateCapExceeded,
+                  "automaton construction for '" + MD.name() +
+                      "' exceeded the state cap");
+  return std::unique_ptr<AutomatonQueryModule>(new AutomatonQueryModule(
+      MD, Horizon, std::move(*Forward), std::move(*Reverse)));
+}
+
+std::unique_ptr<ContentionQueryModule>
+rmd::makeAutomatonOrFallback(const MachineDescription &MD, int Horizon,
+                             size_t StateCap, Status *Why) {
+  if (Why)
+    *Why = Status::ok();
+  Expected<std::unique_ptr<AutomatonQueryModule>> Automaton =
+      AutomatonQueryModule::tryCreate(MD, Horizon, StateCap);
+  if (Automaton)
+    return Automaton.take();
+  if (Why)
+    *Why = Automaton.status();
+  globalDegradation().noteAutomatonFallback();
+  // Reservation-table fallback: identical answers (the property tests
+  // assert module agreement), window [0, +inf) instead of [0, Horizon).
+  QueryConfig Config = QueryConfig::linear(0);
+  if (MD.numResources() <= Config.WordBits)
+    return std::make_unique<BitvectorQueryModule>(MD, Config);
+  return std::make_unique<DiscreteQueryModule>(MD, Config);
 }
 
 AutomatonQueryModule::StateId

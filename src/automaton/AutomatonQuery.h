@@ -40,7 +40,9 @@
 
 #include "automaton/PipelineAutomaton.h"
 #include "query/QueryModule.h"
+#include "support/Status.h"
 
+#include <memory>
 #include <unordered_map>
 
 namespace rmd {
@@ -51,9 +53,17 @@ public:
   /// Builds both automata for \p MD (expanded; tables within 64 cycles)
   /// over schedule cycles [0, Horizon). Construction cost is *not*
   /// counted as query work. Aborts if either automaton exceeds
-  /// \p StateCap states.
+  /// \p StateCap states; recoverable callers use tryCreate() or
+  /// makeAutomatonOrFallback() instead.
   AutomatonQueryModule(const MachineDescription &MD, int Horizon,
                        size_t StateCap = (1u << 22));
+
+  /// The recoverable face of the constructor: StateCapExceeded instead of
+  /// an abort when either automaton blows \p StateCap (or the
+  /// automaton.cap fault point fires).
+  static Expected<std::unique_ptr<AutomatonQueryModule>>
+  tryCreate(const MachineDescription &MD, int Horizon,
+            size_t StateCap = (1u << 22));
 
   bool check(OpId Op, int Cycle) override;
   void assign(OpId Op, int Cycle, InstanceId Instance) override;
@@ -75,6 +85,9 @@ public:
   }
 
 private:
+  AutomatonQueryModule(const MachineDescription &MD, int Horizon,
+                       PipelineAutomaton Forward, PipelineAutomaton Reverse);
+
   using StateId = PipelineAutomaton::StateId;
 
   struct Issue {
@@ -133,6 +146,23 @@ private:
   };
   std::unordered_map<InstanceId, InstanceInfo> Instances;
 };
+
+/// The automaton rung of the graceful-degradation ladder: an automaton
+/// query module over cycles [0, \p Horizon), or — when construction
+/// overflows \p StateCap (state explosion, the failure mode Section 6
+/// measures) — a reservation-table module answering every query
+/// identically (bitvector when the machine fits a word, discrete
+/// otherwise). Each fallback bumps
+/// globalDegradation().AutomatonFallbacks; \p Why, when non-null,
+/// receives why the fallback was taken (ok() on the automaton path).
+///
+/// The fallback's window is [0, +inf) rather than [0, Horizon): strictly
+/// more permissive, so any schedule the automaton module admits is
+/// admitted unchanged.
+std::unique_ptr<ContentionQueryModule>
+makeAutomatonOrFallback(const MachineDescription &MD, int Horizon,
+                        size_t StateCap = (1u << 22),
+                        Status *Why = nullptr);
 
 } // namespace rmd
 

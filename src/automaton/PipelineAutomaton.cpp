@@ -2,6 +2,8 @@
 
 #include "automaton/PipelineAutomaton.h"
 
+#include "support/FaultInjection.h"
+
 #include <cassert>
 #include <deque>
 #include <set>
@@ -33,6 +35,8 @@ PipelineAutomaton::buildImpl(const MachineDescription &MD, size_t StateCap,
   assert(MD.isExpanded() && "automaton requires an expanded machine");
   if (MD.maxTableLength() > 64)
     return std::nullopt; // beyond the 64-cycle horizon of this encoding
+  if (FaultInjection::fire(faultpoints::AutomatonCap))
+    return std::nullopt; // injected state-cap overflow
 
   size_t NumOps = MD.numOperations();
   size_t NumRes = MD.numResources();

@@ -3,6 +3,7 @@
 #include "mdl/Parser.h"
 
 #include "mdl/Lexer.h"
+#include "support/FaultInjection.h"
 
 #include <map>
 
@@ -215,6 +216,10 @@ private:
 std::optional<MachineDescription>
 rmd::parseMdl(std::string_view Input, DiagnosticEngine &Diags,
               MdlAnnotations *Annotations) {
+  if (FaultInjection::fire(faultpoints::MdlParse)) {
+    Diags.error({}, "injected fault: mdl.parse");
+    return std::nullopt;
+  }
   Parser P(Input, Diags, Annotations);
   std::optional<MachineDescription> Result = P.parseFile();
   if (Diags.hasErrors())

@@ -4,9 +4,11 @@
 
 #include "reduce/Metrics.h"
 #include "support/FatalError.h"
+#include "support/FaultInjection.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <exception>
 #include <limits>
 
 using namespace rmd;
@@ -52,8 +54,11 @@ bool rmd::verifyEquivalence(const MachineDescription &A,
          ForbiddenLatencyMatrix::compute(B);
 }
 
-ReductionResult rmd::reduceMachine(const MachineDescription &MD,
-                                   const ReductionOptions &Options) {
+/// The pipeline body of reduceMachineChecked(), free to throw (thread-pool
+/// rethrows propagate out of the parallel phases).
+static Expected<ReductionResult>
+reduceMachineImpl(const MachineDescription &MD,
+                  const ReductionOptions &Options) {
   assert(MD.isExpanded() &&
          "reduceMachine requires an expanded machine; call "
          "expandAlternatives() first");
@@ -100,9 +105,37 @@ ReductionResult rmd::reduceMachine(const MachineDescription &MD,
 
   // Re-check against the *already computed* original matrix (sharing the
   // pool), rather than verifyEquivalence()'s two fresh sequential computes.
-  if (Options.Verify &&
-      !(FLM == ForbiddenLatencyMatrix::compute(Result.Reduced, PoolPtr)))
-    fatalError("reduction failed to preserve the forbidden latency matrix; "
-               "this is a bug in the reducer");
+  if (Options.Verify) {
+    bool Mismatch =
+        !(FLM == ForbiddenLatencyMatrix::compute(Result.Reduced, PoolPtr));
+    if (FaultInjection::fire(faultpoints::ReduceVerify))
+      Mismatch = true;
+    if (Mismatch)
+      return Status(ErrorCode::VerificationFailed,
+                    "reduction of '" + MD.name() +
+                        "' failed to preserve the forbidden latency matrix");
+  }
   return Result;
+}
+
+Expected<ReductionResult>
+rmd::reduceMachineChecked(const MachineDescription &MD,
+                          const ReductionOptions &Options) {
+  // Worker exceptions are captured by the pool and rethrown at the join
+  // point inside the pipeline; convert them (and any other pipeline throw)
+  // into a Status so callers can degrade to the original description.
+  try {
+    return reduceMachineImpl(MD, Options);
+  } catch (const std::exception &E) {
+    return Status(ErrorCode::WorkerFailed,
+                  std::string("reduction pipeline task failed: ") + E.what());
+  }
+}
+
+ReductionResult rmd::reduceMachine(const MachineDescription &MD,
+                                   const ReductionOptions &Options) {
+  Expected<ReductionResult> Result = reduceMachineChecked(MD, Options);
+  if (!Result)
+    fatalError(Result.status().render().c_str());
+  return Result.take();
 }

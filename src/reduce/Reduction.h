@@ -16,6 +16,7 @@
 
 #include "reduce/GeneratingSet.h"
 #include "reduce/Selection.h"
+#include "support/Status.h"
 
 #include <string>
 
@@ -60,6 +61,22 @@ struct ReductionResult {
 /// under \p Options. The result has the same operations (ids and names) over
 /// synthesized resources and generates the identical forbidden latency
 /// matrix.
+///
+/// Recoverable failures come back as a Status instead of aborting:
+///   - VerificationFailed when Options.Verify finds a forbidden-latency
+///     mismatch (or the reduce.verify fault point fires);
+///   - WorkerFailed when a thread-pool task threw (the exception is
+///     captured by the pool, rethrown at the join, and converted here).
+/// Callers that can degrade should fall back to scheduling against \p MD
+/// itself — by Theorem 1 an unreduced description imposes exactly the same
+/// constraints (see reduceMachineOrFallback).
+Expected<ReductionResult>
+reduceMachineChecked(const MachineDescription &MD,
+                     const ReductionOptions &Options = {});
+
+/// reduceMachineChecked() for callers with no recovery path: aborts via
+/// fatalError() on failure. Kept for tests and benches where a failed
+/// reduction means the experiment itself is broken.
 ReductionResult reduceMachine(const MachineDescription &MD,
                               const ReductionOptions &Options = {});
 

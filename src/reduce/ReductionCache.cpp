@@ -4,7 +4,10 @@
 
 #include "mdl/Parser.h"
 #include "mdl/Writer.h"
+#include "support/Degradation.h"
 #include "support/Diagnostics.h"
+#include "support/FatalError.h"
+#include "support/FaultInjection.h"
 
 #include <cstdint>
 #include <cstdlib>
@@ -12,17 +15,48 @@
 #include <fstream>
 #include <sstream>
 
+#include <fcntl.h>
+#include <signal.h>
 #include <unistd.h>
 
 using namespace rmd;
 
 static const char *CacheMagic = "# rmd-reduction-cache v1";
 
+/// Removes `<entry>.tmp<pid>` files whose writer is no longer alive — the
+/// leavings of a writer that crashed between open and rename. Live writers
+/// (their pid still exists) are left alone; their rename will land or their
+/// own crash will be swept on the next open.
+static void sweepOrphanedTempFiles(const std::string &Directory) {
+  std::error_code EC;
+  std::filesystem::directory_iterator It(Directory, EC), End;
+  for (; !EC && It != End; It.increment(EC)) {
+    const std::filesystem::path &Path = It->path();
+    std::string Name = Path.filename().string();
+    size_t Tag = Name.rfind(".tmp");
+    if (Tag == std::string::npos)
+      continue;
+    std::string PidText = Name.substr(Tag + 4);
+    if (PidText.empty() ||
+        PidText.find_first_not_of("0123456789") != std::string::npos)
+      continue;
+    pid_t Pid = static_cast<pid_t>(std::strtoul(PidText.c_str(), nullptr, 10));
+    bool WriterAlive =
+        Pid == ::getpid() || ::kill(Pid, 0) == 0 || errno != ESRCH;
+    if (!WriterAlive) {
+      std::error_code RemoveEC;
+      std::filesystem::remove(Path, RemoveEC);
+    }
+  }
+}
+
 ReductionCache::ReductionCache(std::string TheDirectory)
     : Directory(std::move(TheDirectory)) {
   std::error_code EC;
   std::filesystem::create_directories(Directory, EC);
   Enabled = !EC && std::filesystem::is_directory(Directory, EC);
+  if (Enabled)
+    sweepOrphanedTempFiles(Directory);
 }
 
 std::optional<ReductionCache> ReductionCache::fromEnvironment() {
@@ -81,8 +115,12 @@ ReductionCache::load(const std::string &Key) const {
   auto Reject = [&]() -> std::optional<ReductionResult> {
     std::error_code EC;
     std::filesystem::remove(Path, EC);
+    globalDegradation().noteCacheRecovery();
     return std::nullopt;
   };
+
+  if (FaultInjection::fire(faultpoints::CacheRead))
+    return Reject();
 
   std::istringstream Lines(Text);
   std::string Line;
@@ -115,10 +153,12 @@ void ReductionCache::store(const std::string &Key,
   if (!Enabled)
     return;
   std::string Path = entryPath(Key);
-  // Write-then-rename so concurrent readers either see the old entry or
-  // the complete new one, never a torn write.
+  // Write-then-fsync-then-rename so concurrent readers either see the old
+  // entry or the complete new one, never a torn write — and a committed
+  // entry is durable before its name becomes visible.
   std::string Tmp =
       Path + ".tmp" + std::to_string(static_cast<unsigned>(::getpid()));
+  bool WriteFailed = FaultInjection::fire(faultpoints::CacheWrite);
   {
     std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
     if (!Out)
@@ -128,13 +168,22 @@ void ReductionCache::store(const std::string &Key,
     Out << "# stats " << Result.GeneratingSetSize << " "
         << Result.PrunedSetSize << " " << Result.CoveredLatencies << "\n";
     Out << writeMdl(Result.Reduced);
-    if (!Out) {
+    if (!Out || WriteFailed) {
       Out.close();
       std::error_code EC;
       std::filesystem::remove(Tmp, EC);
       return;
     }
   }
+  int Fd = ::open(Tmp.c_str(), O_WRONLY);
+  if (Fd < 0 || ::fsync(Fd) != 0) {
+    if (Fd >= 0)
+      ::close(Fd);
+    std::error_code EC;
+    std::filesystem::remove(Tmp, EC);
+    return;
+  }
+  ::close(Fd);
   std::error_code EC;
   std::filesystem::rename(Tmp, Path, EC);
   if (EC)
@@ -148,22 +197,33 @@ void ReductionCache::evict(const std::string &Key) const {
   std::filesystem::remove(entryPath(Key), EC);
 }
 
-ReductionResult ReductionCache::reduce(const MachineDescription &MD,
-                                       const ReductionOptions &Options,
-                                       bool *Hit) const {
+Expected<ReductionResult>
+ReductionCache::reduceChecked(const MachineDescription &MD,
+                              const ReductionOptions &Options,
+                              bool *Hit) const {
   if (Hit)
     *Hit = false;
   if (Options.Trace) // a cache hit would silently skip the traced fold
-    return reduceMachine(MD, Options);
+    return reduceMachineChecked(MD, Options);
   std::string Key = key(MD, Options.Objective);
   if (std::optional<ReductionResult> Cached = load(Key)) {
     if (Hit)
       *Hit = true;
     return std::move(*Cached);
   }
-  ReductionResult Result = reduceMachine(MD, Options);
-  store(Key, Result);
+  Expected<ReductionResult> Result = reduceMachineChecked(MD, Options);
+  if (Result)
+    store(Key, Result.value());
   return Result;
+}
+
+ReductionResult ReductionCache::reduce(const MachineDescription &MD,
+                                       const ReductionOptions &Options,
+                                       bool *Hit) const {
+  Expected<ReductionResult> Result = reduceChecked(MD, Options, Hit);
+  if (!Result)
+    fatalError(Result.status().render().c_str());
+  return Result.take();
 }
 
 ReductionResult rmd::reduceMachineCached(const MachineDescription &MD,
@@ -171,4 +231,38 @@ ReductionResult rmd::reduceMachineCached(const MachineDescription &MD,
   if (std::optional<ReductionCache> Cache = ReductionCache::fromEnvironment())
     return Cache->reduce(MD, Options);
   return reduceMachine(MD, Options);
+}
+
+SafeReduction rmd::reduceMachineOrFallback(const MachineDescription &MD,
+                                           const ReductionOptions &Options,
+                                           const ReductionCache *Cache,
+                                           bool *Hit) {
+  if (Hit)
+    *Hit = false;
+  std::optional<ReductionCache> EnvCache;
+  if (!Cache) {
+    EnvCache = ReductionCache::fromEnvironment();
+    if (EnvCache)
+      Cache = &*EnvCache;
+  }
+  Expected<ReductionResult> Reduced =
+      Cache ? Cache->reduceChecked(MD, Options, Hit)
+            : reduceMachineChecked(MD, Options);
+
+  SafeReduction Safe;
+  if (Reduced) {
+    Safe.Result = Reduced.take();
+    return Safe;
+  }
+  // Theorem 1 fallback: the original description imposes exactly the same
+  // forbidden latencies, so scheduling against it is always correct — just
+  // more per-query work. Mark the pass-through so callers can surface it.
+  Safe.Degraded = true;
+  Safe.Why = Reduced.status();
+  Safe.Result.Reduced = MD;
+  Safe.Result.GeneratingSetSize = 0;
+  Safe.Result.PrunedSetSize = 0;
+  Safe.Result.CoveredLatencies = 0;
+  globalDegradation().noteReduceFallback();
+  return Safe;
 }

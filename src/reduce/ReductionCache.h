@@ -12,9 +12,12 @@
 /// Entries are MDL files with a stats header in `#` comments, parsed back
 /// with the ordinary parser. The cache is strictly best-effort: a missing,
 /// truncated, corrupt, or version-skewed entry is a miss (the reduction is
-/// recomputed and the entry rewritten), never an error. Stores write to a
-/// temporary file and rename, so a crashed writer leaves no partial entry
-/// under a valid name.
+/// recomputed, the bad entry evicted, and the slot rewritten), never an
+/// error; each such recovery bumps globalDegradation().CacheRecoveries.
+/// Stores write to a temporary file, fsync it, and rename, so a crashed
+/// writer leaves no partial entry under a valid name and a committed entry
+/// survives power loss; orphaned `.tmp.<pid>` files left by crashed
+/// writers are swept when the cache is opened.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -64,6 +67,14 @@ public:
                          const ReductionOptions &Options = {},
                          bool *Hit = nullptr) const;
 
+  /// reduce() with reduction failures reported as a Status instead of an
+  /// abort: a miss whose recomputation fails returns the error (nothing is
+  /// stored). Cache trouble never surfaces here — corrupt entries are
+  /// misses, failed stores are dropped.
+  Expected<ReductionResult> reduceChecked(const MachineDescription &MD,
+                                          const ReductionOptions &Options = {},
+                                          bool *Hit = nullptr) const;
+
   const std::string &directory() const { return Directory; }
   bool enabled() const { return Enabled; }
 
@@ -80,6 +91,36 @@ private:
 /// instead of growing their own cache plumbing.
 ReductionResult reduceMachineCached(const MachineDescription &MD,
                                     const ReductionOptions &Options = {});
+
+/// The product of reduceMachineOrFallback(): a description that is always
+/// safe to schedule against.
+struct SafeReduction {
+  /// On the happy path, the verified reduction. When Degraded, a
+  /// pass-through "reduction" whose Reduced is a copy of the input
+  /// machine — by Theorem 1 the scheduling constraints are identical, only
+  /// the per-query work is higher.
+  ReductionResult Result;
+
+  /// True when the fallback rung was taken.
+  bool Degraded = false;
+
+  /// Why it was taken (ok() when not Degraded).
+  Status Why;
+};
+
+/// The first rung of the graceful-degradation ladder: reduce \p MD
+/// (through \p Cache when non-null, else through the RMD_REDUCTION_CACHE
+/// environment cache), and on *any* reduction failure — verification
+/// mismatch, worker exception, injected fault — fall back to the original
+/// description instead of failing. Each fallback bumps
+/// globalDegradation().ReduceFallbacks so the degradation is observable in
+/// scheduler/CLI stats. \p Hit, when non-null, reports whether the result
+/// came from the cache.
+SafeReduction
+reduceMachineOrFallback(const MachineDescription &MD,
+                        const ReductionOptions &Options = {},
+                        const ReductionCache *Cache = nullptr,
+                        bool *Hit = nullptr);
 
 } // namespace rmd
 

@@ -4,6 +4,7 @@
 
 #include "query/DiscreteQuery.h" // hasModuloSelfConflict
 #include "sched/MII.h"
+#include "support/FaultInjection.h"
 #include "verify/QueryTrace.h"
 
 #include <algorithm>
@@ -79,14 +80,30 @@ std::vector<long long> computePriorities(const DepGraph &G, int II,
   return std::vector<long long>(G.numNodes(), 0);
 }
 
+/// How one II attempt ended.
+enum class AttemptEnd {
+  /// Complete schedule found within budget.
+  Complete,
+  /// Decision budget exhausted (or no II-feasible alternative); the caller
+  /// escalates to II + 1.
+  BudgetExhausted,
+  /// Deadline expired or cancellation requested mid-attempt; the caller
+  /// returns best-so-far instead of escalating.
+  Interrupted,
+};
+
 } // namespace
 
-/// One II attempt; returns true on a complete schedule within budget.
-static bool attemptSchedule(const DepGraph &G, const QueryEnvironment &Env,
-                            int II, uint64_t Budget, SchedulePriority Kind,
-                            AttemptState &S, ModuloScheduleStats &Stats,
-                            uint64_t &DecisionsThisAttempt,
-                            WorkCounters &Accum, QueryTraceLog *TraceLog) {
+/// One II attempt. On Interrupted, S holds the partial placement with
+/// S.Alternative[v] == -1 for every node not scheduled at the interrupt.
+static AttemptEnd
+attemptSchedule(const DepGraph &G, const QueryEnvironment &Env, int II,
+                uint64_t Budget, const ModuloScheduleOptions &Options,
+                AttemptState &S, ModuloScheduleStats &Stats,
+                uint64_t &DecisionsThisAttempt, WorkCounters &Accum,
+                ScheduleOutcome &Interrupt) {
+  SchedulePriority Kind = Options.Priority;
+  QueryTraceLog *TraceLog = Options.TraceLog;
   const auto &Groups = *Env.Groups;
   const MachineDescription &Flat = *Env.FlatMD;
   size_t N = G.numNodes();
@@ -106,7 +123,7 @@ static bool attemptSchedule(const DepGraph &G, const QueryEnvironment &Env,
       Any |= Ok;
     }
     if (!Any)
-      return false;
+      return AttemptEnd::BudgetExhausted;
   }
 
   std::unique_ptr<ContentionQueryModule> Module =
@@ -135,9 +152,25 @@ static bool attemptSchedule(const DepGraph &G, const QueryEnvironment &Env,
   size_t NumScheduled = 0;
 
   while (NumScheduled < N) {
+    // Wall-clock / cancellation poll, once per scheduling decision: cheap
+    // (one steady_clock read at most) relative to the window scan each
+    // decision performs.
+    bool WantCancel = Options.Cancel && Options.Cancel->cancelled();
+    bool WantStop = WantCancel || Options.TheDeadline.expired() ||
+                    FaultInjection::fire(faultpoints::SchedDeadline);
+    if (WantStop) {
+      for (NodeId U = 0; U < N; ++U)
+        if (!S.Scheduled[U])
+          S.Alternative[U] = -1;
+      Accum.accumulate(Module->counters());
+      Interrupt = WantCancel ? ScheduleOutcome::Cancelled
+                             : ScheduleOutcome::TimedOut;
+      return AttemptEnd::Interrupted;
+    }
+
     if (DecisionsThisAttempt >= Budget) {
       Accum.accumulate(Module->counters());
-      return false;
+      return AttemptEnd::BudgetExhausted;
     }
 
     // Highest-priority unscheduled operation (ties: lowest id).
@@ -238,7 +271,7 @@ static bool attemptSchedule(const DepGraph &G, const QueryEnvironment &Env,
   }
 
   Accum.accumulate(Module->counters());
-  return true;
+  return AttemptEnd::Complete;
 }
 
 ModuloScheduleResult
@@ -251,7 +284,15 @@ rmd::moduloSchedule(const DepGraph &G, const MachineDescription &MD,
 
   ModuloScheduleResult Result;
   Result.Stats.ResMII = computeResMII(MD, G);
-  Result.Stats.RecMII = computeRecMII(G);
+  Expected<int> RecMII = computeRecMIIChecked(G);
+  if (!RecMII) {
+    Result.Outcome = ScheduleOutcome::InfeasibleRecurrence;
+    Result.Error = RecMII.status();
+    Result.Stats.Degradation.InfeasibleRecurrences += 1;
+    globalDegradation().noteInfeasibleRecurrence();
+    return Result;
+  }
+  Result.Stats.RecMII = RecMII.value();
   Result.Stats.MII = std::max(Result.Stats.ResMII, Result.Stats.RecMII);
 
   int MaxII = Options.MaxII > 0 ? Options.MaxII : Result.Stats.MII + 128;
@@ -261,12 +302,14 @@ rmd::moduloSchedule(const DepGraph &G, const MachineDescription &MD,
   AttemptState S;
   for (int II = Result.Stats.MII; II <= MaxII; ++II) {
     uint64_t Decisions = 0;
-    bool Ok = attemptSchedule(G, Env, II, Budget, Options.Priority, S,
-                              Result.Stats, Decisions, Result.Counters,
-                              Options.TraceLog);
+    ScheduleOutcome Interrupt = ScheduleOutcome::TimedOut;
+    AttemptEnd End =
+        attemptSchedule(G, Env, II, Budget, Options, S, Result.Stats,
+                        Decisions, Result.Counters, Interrupt);
     Result.Stats.DecisionsPerAttempt.push_back(Decisions);
-    if (Ok) {
+    if (End == AttemptEnd::Complete) {
       Result.Success = true;
+      Result.Outcome = ScheduleOutcome::Scheduled;
       Result.II = II;
       Result.Stats.II = II;
       Result.Time = S.Time;
@@ -275,6 +318,26 @@ rmd::moduloSchedule(const DepGraph &G, const MachineDescription &MD,
              "IMS produced a dependence-violating schedule");
       return Result;
     }
+    if (End == AttemptEnd::Interrupted) {
+      // Best-so-far: the partial placement of the interrupted attempt
+      // (unplaced nodes carry Alternative == -1).
+      Result.Outcome = Interrupt;
+      Result.Error =
+          Interrupt == ScheduleOutcome::Cancelled
+              ? Status(ErrorCode::Cancelled,
+                       "scheduling cancelled at II=" + std::to_string(II))
+              : Status(ErrorCode::TimedOut,
+                       "scheduling deadline expired at II=" +
+                           std::to_string(II));
+      Result.II = II;
+      Result.Stats.II = II;
+      Result.Time = S.Time;
+      Result.Alternative = S.Alternative;
+      Result.Stats.Degradation.SchedulerTimeouts += 1;
+      globalDegradation().noteSchedulerTimeout();
+      return Result;
+    }
   }
+  Result.Outcome = ScheduleOutcome::CeilingReached;
   return Result;
 }

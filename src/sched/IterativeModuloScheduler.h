@@ -25,6 +25,9 @@
 
 #include "query/QueryModule.h"
 #include "sched/DepGraph.h"
+#include "support/Deadline.h"
+#include "support/Degradation.h"
+#include "support/Status.h"
 
 #include <functional>
 #include <memory>
@@ -75,6 +78,15 @@ struct ModuloScheduleOptions {
   /// any module built over an equivalent description
   /// (verify/QueryTrace.h).
   QueryTraceLog *TraceLog = nullptr;
+
+  /// Wall-clock budget: polled between scheduling decisions and II
+  /// attempts; on expiry the scheduler returns best-so-far with a
+  /// TimedOut outcome instead of grinding II escalation.
+  Deadline TheDeadline = Deadline::never();
+
+  /// Cooperative cancellation (e.g. a serving thread abandoning a
+  /// request); polled at the same points as the deadline.
+  const CancellationToken *Cancel = nullptr;
 };
 
 /// Statistics of one scheduling run (Table 5 / Table 6 inputs).
@@ -113,15 +125,42 @@ struct ModuloScheduleStats {
       Total += D;
     return Total;
   }
+
+  /// Degradation events of this run (timeouts, infeasible-recurrence
+  /// rejections); also tallied in globalDegradation().
+  DegradationCounters Degradation;
+};
+
+/// Why a scheduling run ended.
+enum class ScheduleOutcome {
+  /// A complete schedule was found (Success == true).
+  Scheduled,
+  /// No II up to the ceiling admitted a schedule within budget.
+  CeilingReached,
+  /// The dependence graph has a zero-distance positive-delay cycle; see
+  /// Error for the named cycle.
+  InfeasibleRecurrence,
+  /// The deadline expired; Time/Alternative hold the best-so-far partial
+  /// placement of the interrupted attempt.
+  TimedOut,
+  /// The cancellation token was triggered; partial placement as TimedOut.
+  Cancelled,
 };
 
 /// The outcome of moduloSchedule().
 struct ModuloScheduleResult {
   bool Success = false;
+  ScheduleOutcome Outcome = ScheduleOutcome::CeilingReached;
+  /// Non-ok when Outcome is a structured failure (InfeasibleRecurrence,
+  /// TimedOut, Cancelled).
+  Status Error;
   int II = 0;
-  /// Issue cycle per node (valid on success).
+  /// Issue cycle per node (valid on success; on TimedOut/Cancelled the
+  /// partial placement of the interrupted attempt, where entries with
+  /// Alternative[n] < 0 were unplaced).
   std::vector<int> Time;
-  /// Chosen alternative per node (valid on success).
+  /// Chosen alternative per node (valid on success; -1 = unplaced in a
+  /// partial result).
   std::vector<int> Alternative;
   ModuloScheduleStats Stats;
   /// Query-module work accumulated over every attempt.
@@ -130,7 +169,9 @@ struct ModuloScheduleResult {
 
 /// Modulo-schedules \p G against \p Env. \p MD is the *original* machine
 /// (with alternatives), used for the ResMII bound. Returns Success == false
-/// only if no II up to the ceiling admits a schedule within budget.
+/// only if no II up to the ceiling admits a schedule within budget, the
+/// recurrences are infeasible, or the deadline/cancellation interrupted the
+/// run (see Outcome); never aborts on input-triggered conditions.
 ModuloScheduleResult moduloSchedule(const DepGraph &G,
                                     const MachineDescription &MD,
                                     const QueryEnvironment &Env,

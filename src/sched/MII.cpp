@@ -51,23 +51,91 @@ static bool hasPositiveCycle(const DepGraph &G, int II) {
   return true;
 }
 
-int rmd::computeRecMII(const DepGraph &G) {
+/// Renders node \p N for a diagnostic: its name when the graph has one,
+/// "#<id>" otherwise.
+static std::string nodeLabel(const DepGraph &G, NodeId N) {
+  const std::string &Name = G.nodeName(N);
+  return Name.empty() ? "#" + std::to_string(N) : Name;
+}
+
+/// Extracts one positive cycle of \p G under weight (Delay - II*Distance),
+/// assuming hasPositiveCycle(G, II). Renders it as
+/// "a -> b -> a (total delay D, distance 0)".
+static std::string describePositiveCycle(const DepGraph &G, int II) {
+  size_t N = G.numNodes();
+  std::vector<long long> Dist(N, 0);
+  std::vector<int32_t> Parent(N, -1);
+  // N full passes leave every node that keeps relaxing with a Parent chain
+  // that must contain a positive cycle.
+  NodeId Touched = N;
+  for (size_t Pass = 0; Pass <= N; ++Pass)
+    for (uint32_t EIdx = 0; EIdx < G.numEdges(); ++EIdx) {
+      const DepEdge &E = G.edges()[EIdx];
+      long long W = E.Delay - static_cast<long long>(II) * E.Distance;
+      if (Dist[E.From] + W > Dist[E.To]) {
+        Dist[E.To] = Dist[E.From] + W;
+        Parent[E.To] = static_cast<int32_t>(EIdx);
+        Touched = E.To;
+      }
+    }
+  if (Touched == N)
+    return "(cycle extraction failed)"; // unreachable given the caller
+
+  // Walk N parent steps to land inside the cycle, then collect it.
+  NodeId X = Touched;
+  for (size_t I = 0; I < N; ++I)
+    X = G.edges()[static_cast<uint32_t>(Parent[X])].From;
+  std::vector<uint32_t> CycleEdges;
+  NodeId V = X;
+  do {
+    uint32_t EIdx = static_cast<uint32_t>(Parent[V]);
+    CycleEdges.push_back(EIdx);
+    V = G.edges()[EIdx].From;
+  } while (V != X);
+  std::reverse(CycleEdges.begin(), CycleEdges.end());
+
+  long long DelaySum = 0, DistanceSum = 0;
+  std::string Path = nodeLabel(G, X);
+  for (uint32_t EIdx : CycleEdges) {
+    const DepEdge &E = G.edges()[EIdx];
+    DelaySum += E.Delay;
+    DistanceSum += E.Distance;
+    Path += " -> " + nodeLabel(G, E.To);
+  }
+  return Path + " (total delay " + std::to_string(DelaySum) + ", distance " +
+         std::to_string(DistanceSum) + ")";
+}
+
+Expected<int> rmd::computeRecMIIChecked(const DepGraph &G) {
   bool HasCarried = false;
   int MaxDelaySum = 1;
   for (const DepEdge &E : G.edges()) {
     HasCarried |= E.Distance > 0;
     MaxDelaySum += std::max(0, E.Delay);
   }
-  if (!HasCarried)
+  if (!HasCarried) {
+    // No carried dependence: RecMII is 1 — unless the "loop body" has a
+    // zero-distance cycle, which no II fixes (a positive zero-distance
+    // cycle has positive weight at every II; probe at II = 1).
+    if (hasPositiveCycle(G, 1))
+      return Status(ErrorCode::InfeasibleRecurrence,
+                    "zero-distance positive-delay cycle: " +
+                        describePositiveCycle(G, 1) +
+                        "; no initiation interval is feasible");
     return 1;
+  }
 
   // Feasibility is monotone in II; binary search the smallest feasible II.
   // A graph with a positive-delay cycle at distance 0 has no feasible II at
-  // all (it is not a valid loop body).
+  // all (it is not a valid loop body): at II = MaxDelaySum every
+  // distance-carrying cycle is already far negative, so a surviving
+  // positive cycle is zero-distance.
   int Lo = 1, Hi = MaxDelaySum;
   if (hasPositiveCycle(G, Hi))
-    fatalError("dependence graph has a zero-distance positive-delay cycle; "
-               "no initiation interval is feasible");
+    return Status(ErrorCode::InfeasibleRecurrence,
+                  "zero-distance positive-delay cycle: " +
+                      describePositiveCycle(G, Hi) +
+                      "; no initiation interval is feasible");
   while (Lo < Hi) {
     int Mid = Lo + (Hi - Lo) / 2;
     if (hasPositiveCycle(G, Mid))
@@ -76,6 +144,13 @@ int rmd::computeRecMII(const DepGraph &G) {
       Hi = Mid;
   }
   return Lo;
+}
+
+int rmd::computeRecMII(const DepGraph &G) {
+  Expected<int> RecMII = computeRecMIIChecked(G);
+  if (!RecMII)
+    fatalError(RecMII.status().render().c_str());
+  return RecMII.value();
 }
 
 int rmd::computeMII(const MachineDescription &MD, const DepGraph &G) {

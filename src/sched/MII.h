@@ -13,6 +13,7 @@
 
 #include "mdesc/MachineDescription.h"
 #include "sched/DepGraph.h"
+#include "support/Status.h"
 
 namespace rmd {
 
@@ -25,6 +26,16 @@ int computeResMII(const MachineDescription &MD, const DepGraph &G);
 /// Recurrence-constrained minimum II: the smallest II such that no
 /// dependence cycle has positive total (Delay - II * Distance). Returns 1
 /// for acyclic graphs.
+///
+/// A graph with a zero-distance positive-delay cycle is not a valid loop
+/// body — no II is feasible — and is rejected with an
+/// InfeasibleRecurrence status *naming the offending cycle* (node names
+/// when the graph has them, #ids otherwise), so a scheduler front end can
+/// print a diagnostic the user can act on.
+Expected<int> computeRecMIIChecked(const DepGraph &G);
+
+/// computeRecMIIChecked() for callers that know the graph is a valid loop
+/// body (aborts on an infeasible recurrence).
 int computeRecMII(const DepGraph &G);
 
 /// max(ResMII, RecMII), and at least 1.

@@ -2,6 +2,8 @@
 
 #include "sched/OperationDrivenScheduler.h"
 
+#include "support/Degradation.h"
+#include "support/FaultInjection.h"
 #include "verify/QueryTrace.h"
 
 #include <algorithm>
@@ -68,6 +70,23 @@ OperationDrivenResult rmd::operationDrivenSchedule(
   uint64_t Budget = 64ull * N + 64;
 
   while (NumScheduled < N) {
+    // Wall-clock / cancellation poll per decision; best-so-far on expiry
+    // (unscheduled nodes keep Alternative == -1 below).
+    bool WantCancel = Options.Cancel && Options.Cancel->cancelled();
+    if (WantCancel || Options.TheDeadline.expired() ||
+        FaultInjection::fire(faultpoints::SchedDeadline)) {
+      for (NodeId U = 0; U < N; ++U)
+        if (!Scheduled[U])
+          Result.Alternative[U] = -1;
+      Result.Error =
+          WantCancel ? Status(ErrorCode::Cancelled,
+                              "block scheduling cancelled")
+                     : Status(ErrorCode::TimedOut,
+                              "block scheduling deadline expired");
+      globalDegradation().noteSchedulerTimeout();
+      return Result; // Success stays false
+    }
+
     if (Result.Decisions >= Budget)
       return Result; // Success stays false
 

@@ -28,6 +28,8 @@
 #include "query/QueryModule.h"
 #include "sched/DepGraph.h"
 #include "sched/ListScheduler.h" // DanglingOp
+#include "support/Deadline.h"
+#include "support/Status.h"
 
 #include <functional>
 #include <memory>
@@ -41,14 +43,24 @@ struct OperationDrivenOptions {
   /// How many times one operation may be evicted before its next placement
   /// refuses to evict others.
   unsigned MaxEvictions = 4;
+
+  /// Wall-clock budget, polled between scheduling decisions; on expiry
+  /// the scheduler returns best-so-far with TimedOut set in Error.
+  Deadline TheDeadline = Deadline::never();
+
+  /// Cooperative cancellation, polled at the same points.
+  const CancellationToken *Cancel = nullptr;
 };
 
 /// Result of operation-driven scheduling.
 struct OperationDrivenResult {
   bool Success = false;
+  /// Non-ok when the run was interrupted (TimedOut / Cancelled); the
+  /// budget backstop leaves Error ok with Success == false.
+  Status Error;
   std::vector<int> Time;
-  std::vector<int> Alternative;
-  int Length = 0; ///< one past the last issue cycle
+  std::vector<int> Alternative; ///< -1 = unplaced in a partial result
+  int Length = 0;               ///< one past the last issue cycle
 
   /// Operations whose reservations extend past Length: the residue a
   /// successor block must respect (flat op + issue cycle relative to the

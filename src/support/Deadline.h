@@ -1,0 +1,61 @@
+//===- support/Deadline.h - Wall-clock deadlines and cancellation -*- C++ -*-===//
+///
+/// \file
+/// Wall-clock deadlines and cooperative cancellation for the schedulers.
+/// Both are polled, never preemptive: the schedulers check between
+/// scheduling decisions and between II attempts and return best-so-far
+/// with a TimedOut / Cancelled outcome instead of grinding II escalation
+/// under a latency budget.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMD_SUPPORT_DEADLINE_H
+#define RMD_SUPPORT_DEADLINE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace rmd {
+
+/// A point in time after which polled work should stop. The default
+/// (never()) is free to poll: expired() is one branch, no clock read.
+class Deadline {
+public:
+  /// No deadline; expired() is always false.
+  static Deadline never() { return Deadline(); }
+
+  /// Expires \p Millis milliseconds from now.
+  static Deadline afterMillis(int64_t Millis) {
+    Deadline D;
+    D.Enabled = true;
+    D.At = std::chrono::steady_clock::now() +
+           std::chrono::milliseconds(Millis);
+    return D;
+  }
+
+  bool enabled() const { return Enabled; }
+
+  bool expired() const {
+    return Enabled && std::chrono::steady_clock::now() >= At;
+  }
+
+private:
+  bool Enabled = false;
+  std::chrono::steady_clock::time_point At;
+};
+
+/// A cooperative cancellation flag, settable from another thread. The
+/// schedulers poll it alongside their deadline.
+class CancellationToken {
+public:
+  void cancel() { Flag.store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return Flag.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<bool> Flag{false};
+};
+
+} // namespace rmd
+
+#endif // RMD_SUPPORT_DEADLINE_H

@@ -1,0 +1,130 @@
+//===- support/Degradation.h - Observable degradation counters -*- C++ -*-===//
+///
+/// \file
+/// Counters for the graceful-degradation ladder. Every rung that silently
+/// keeps the system working — scheduling against the original description
+/// because a reduction failed verification, swapping a bitvector module in
+/// for an overflowing automaton, healing a corrupt cache entry, returning
+/// best-so-far on a deadline — increments a counter here, so degradation
+/// is observable (CLI --stats, scheduler stats) rather than silent.
+///
+/// DegradationCounters is a plain value (embedded in scheduler stats);
+/// globalDegradation() is the process-wide atomic tally that library
+/// fallback sites bump.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMD_SUPPORT_DEGRADATION_H
+#define RMD_SUPPORT_DEGRADATION_H
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+
+namespace rmd {
+
+/// A snapshot of degradation events; all counters are "times this rung of
+/// the ladder was taken".
+struct DegradationCounters {
+  /// Scheduled/emitted the *original* description because reduction (or
+  /// its re-verification) failed. Safe by Theorem 1: the constraints are
+  /// identical.
+  uint64_t ReduceFallbacks = 0;
+
+  /// Corrupt / unreadable reduction-cache entries treated as misses and
+  /// evicted so the slot heals on the next store.
+  uint64_t CacheRecoveries = 0;
+
+  /// Automaton query modules replaced by a reservation-table module after
+  /// a state-cap overflow.
+  uint64_t AutomatonFallbacks = 0;
+
+  /// Worker exceptions captured by the thread pool and rethrown at join.
+  uint64_t WorkerRethrows = 0;
+
+  /// Scheduler runs that returned best-so-far on an expired deadline or a
+  /// triggered cancellation token.
+  uint64_t SchedulerTimeouts = 0;
+
+  /// Scheduling requests rejected with a named infeasible recurrence
+  /// cycle instead of an abort.
+  uint64_t InfeasibleRecurrences = 0;
+
+  uint64_t total() const {
+    return ReduceFallbacks + CacheRecoveries + AutomatonFallbacks +
+           WorkerRethrows + SchedulerTimeouts + InfeasibleRecurrences;
+  }
+
+  void accumulate(const DegradationCounters &O) {
+    ReduceFallbacks += O.ReduceFallbacks;
+    CacheRecoveries += O.CacheRecoveries;
+    AutomatonFallbacks += O.AutomatonFallbacks;
+    WorkerRethrows += O.WorkerRethrows;
+    SchedulerTimeouts += O.SchedulerTimeouts;
+    InfeasibleRecurrences += O.InfeasibleRecurrences;
+  }
+};
+
+/// Renders the nonzero counters as "name=N name=N ..." (or "none").
+inline std::ostream &operator<<(std::ostream &OS,
+                                const DegradationCounters &C) {
+  bool Any = false;
+  auto Field = [&](const char *Name, uint64_t Value) {
+    if (!Value)
+      return;
+    OS << (Any ? " " : "") << Name << "=" << Value;
+    Any = true;
+  };
+  Field("reduce-fallbacks", C.ReduceFallbacks);
+  Field("cache-recoveries", C.CacheRecoveries);
+  Field("automaton-fallbacks", C.AutomatonFallbacks);
+  Field("worker-rethrows", C.WorkerRethrows);
+  Field("scheduler-timeouts", C.SchedulerTimeouts);
+  Field("infeasible-recurrences", C.InfeasibleRecurrences);
+  if (!Any)
+    OS << "none";
+  return OS;
+}
+
+/// The process-wide tally, bumped by library fallback sites and read by
+/// the CLIs' --stats output. Thread-safe.
+class GlobalDegradation {
+public:
+  void noteReduceFallback() { ReduceFallbacks.fetch_add(1, Relaxed); }
+  void noteCacheRecovery() { CacheRecoveries.fetch_add(1, Relaxed); }
+  void noteAutomatonFallback() { AutomatonFallbacks.fetch_add(1, Relaxed); }
+  void noteWorkerRethrow() { WorkerRethrows.fetch_add(1, Relaxed); }
+  void noteSchedulerTimeout() { SchedulerTimeouts.fetch_add(1, Relaxed); }
+  void noteInfeasibleRecurrence() {
+    InfeasibleRecurrences.fetch_add(1, Relaxed);
+  }
+
+  DegradationCounters snapshot() const {
+    DegradationCounters C;
+    C.ReduceFallbacks = ReduceFallbacks.load(Relaxed);
+    C.CacheRecoveries = CacheRecoveries.load(Relaxed);
+    C.AutomatonFallbacks = AutomatonFallbacks.load(Relaxed);
+    C.WorkerRethrows = WorkerRethrows.load(Relaxed);
+    C.SchedulerTimeouts = SchedulerTimeouts.load(Relaxed);
+    C.InfeasibleRecurrences = InfeasibleRecurrences.load(Relaxed);
+    return C;
+  }
+
+private:
+  static constexpr std::memory_order Relaxed = std::memory_order_relaxed;
+  std::atomic<uint64_t> ReduceFallbacks{0};
+  std::atomic<uint64_t> CacheRecoveries{0};
+  std::atomic<uint64_t> AutomatonFallbacks{0};
+  std::atomic<uint64_t> WorkerRethrows{0};
+  std::atomic<uint64_t> SchedulerTimeouts{0};
+  std::atomic<uint64_t> InfeasibleRecurrences{0};
+};
+
+inline GlobalDegradation &globalDegradation() {
+  static GlobalDegradation G;
+  return G;
+}
+
+} // namespace rmd
+
+#endif // RMD_SUPPORT_DEGRADATION_H

@@ -1,0 +1,205 @@
+//===- support/FaultInjection.cpp -----------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+#include "support/FatalError.h"
+
+#include <cstdlib>
+#include <cstring>
+
+using namespace rmd;
+
+FaultInjection &FaultInjection::instance() {
+  static FaultInjection Registry;
+  return Registry;
+}
+
+const std::vector<const char *> &FaultInjection::registeredPoints() {
+  static const std::vector<const char *> Names = {
+      faultpoints::CacheRead,      faultpoints::CacheWrite,
+      faultpoints::MdlParse,       faultpoints::ThreadPoolTask,
+      faultpoints::AutomatonCap,   faultpoints::ReduceVerify,
+      faultpoints::SchedDeadline,
+  };
+  return Names;
+}
+
+int FaultInjection::pointIndex(std::string_view Name) const {
+  const auto &Names = registeredPoints();
+  for (size_t I = 0; I < Names.size(); ++I)
+    if (Name == Names[I])
+      return static_cast<int>(I);
+  return -1;
+}
+
+void FaultInjection::reset() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Points.assign(registeredPoints().size(), PointState());
+  Seed = 0;
+  Armed.store(false, std::memory_order_relaxed);
+}
+
+Status FaultInjection::configure(std::string_view Spec) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::vector<PointState> NewPoints(registeredPoints().size());
+  uint64_t NewSeed = 0;
+  bool AnyTrigger = false;
+
+  // Split on commas; whitespace around entries is ignored.
+  size_t Pos = 0;
+  while (Pos <= Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    if (Comma == std::string_view::npos)
+      Comma = Spec.size();
+    std::string_view Entry = Spec.substr(Pos, Comma - Pos);
+    Pos = Comma + 1;
+    while (!Entry.empty() && (Entry.front() == ' ' || Entry.front() == '\t'))
+      Entry.remove_prefix(1);
+    while (!Entry.empty() && (Entry.back() == ' ' || Entry.back() == '\t'))
+      Entry.remove_suffix(1);
+    if (Entry.empty())
+      continue;
+
+    auto ParseNumber = [](std::string_view Text, uint64_t &Out) {
+      if (Text.empty())
+        return false;
+      Out = 0;
+      for (char C : Text) {
+        if (C < '0' || C > '9')
+          return false;
+        Out = Out * 10 + static_cast<uint64_t>(C - '0');
+      }
+      return true;
+    };
+
+    if (Entry.rfind("seed=", 0) == 0) {
+      if (!ParseNumber(Entry.substr(5), NewSeed))
+        return Status(ErrorCode::ParseError,
+                      "bad seed in fault spec entry '" + std::string(Entry) +
+                          "'");
+      continue;
+    }
+
+    if (Entry == "*") {
+      for (PointState &P : NewPoints) {
+        P.HasTrigger = true;
+        P.TheTrigger = Trigger{Trigger::Always, 0, 0};
+      }
+      AnyTrigger = true;
+      continue;
+    }
+
+    Trigger T;
+    std::string_view Name = Entry;
+    if (size_t Colon = Entry.find(':'); Colon != std::string_view::npos) {
+      Name = Entry.substr(0, Colon);
+      std::string_view Ordinal = Entry.substr(Colon + 1);
+      T.TheKind = Trigger::NthHit;
+      if (!Ordinal.empty() && Ordinal.back() == '+') {
+        T.TheKind = Trigger::FromNthHit;
+        Ordinal.remove_suffix(1);
+      }
+      if (!ParseNumber(Ordinal, T.N) || T.N == 0)
+        return Status(ErrorCode::ParseError,
+                      "bad hit ordinal in fault spec entry '" +
+                          std::string(Entry) + "'");
+    } else if (size_t Pct = Entry.find('%'); Pct != std::string_view::npos) {
+      Name = Entry.substr(0, Pct);
+      T.TheKind = Trigger::Percent;
+      if (!ParseNumber(Entry.substr(Pct + 1), T.Pct) || T.Pct > 100)
+        return Status(ErrorCode::ParseError,
+                      "bad percentage in fault spec entry '" +
+                          std::string(Entry) + "'");
+    }
+
+    int Index = pointIndex(Name);
+    if (Index < 0)
+      return Status(ErrorCode::ParseError,
+                    "unknown fault point '" + std::string(Name) + "'");
+    NewPoints[static_cast<size_t>(Index)].HasTrigger = true;
+    NewPoints[static_cast<size_t>(Index)].TheTrigger = T;
+    AnyTrigger = true;
+  }
+
+  Points = std::move(NewPoints);
+  Seed = NewSeed;
+  Armed.store(AnyTrigger, std::memory_order_relaxed);
+  return Status::ok();
+}
+
+/// SplitMix64: a well-mixed 64-bit hash, stable across platforms.
+static uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+bool FaultInjection::shouldFire(const char *Point) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Points.empty())
+    Points.assign(registeredPoints().size(), PointState());
+  int Index = pointIndex(Point);
+  if (Index < 0)
+    fatalError("fire() on an unregistered fault point; add it to "
+               "FaultInjection::registeredPoints()");
+  PointState &P = Points[static_cast<size_t>(Index)];
+  uint64_t Hit = ++P.Hits;
+  if (!P.HasTrigger)
+    return false;
+  bool Fire = false;
+  switch (P.TheTrigger.TheKind) {
+  case Trigger::Always:
+    Fire = true;
+    break;
+  case Trigger::NthHit:
+    Fire = Hit == P.TheTrigger.N;
+    break;
+  case Trigger::FromNthHit:
+    Fire = Hit >= P.TheTrigger.N;
+    break;
+  case Trigger::Percent: {
+    // Deterministic in (seed, point, hit ordinal): replaying the same hit
+    // sequence with the same seed injects at exactly the same hits.
+    uint64_t H = Seed;
+    for (const char *C = Point; *C; ++C)
+      H = mix64(H ^ static_cast<uint64_t>(static_cast<unsigned char>(*C)));
+    Fire = mix64(H ^ Hit) % 100 < P.TheTrigger.Pct;
+    break;
+  }
+  }
+  P.Fired += Fire;
+  return Fire;
+}
+
+bool FaultInjection::fire(const char *Point) {
+  FaultInjection &Registry = instance();
+  std::call_once(Registry.EnvOnce, [&Registry] {
+    const char *Env = std::getenv("RMD_FAULTS");
+    if (!Env || !*Env)
+      return;
+    Status S = Registry.configure(Env);
+    if (!S.isOk())
+      // A spec that silently arms nothing is worse than no spec.
+      fatalError(("RMD_FAULTS: " + S.render()).c_str());
+  });
+  if (!Registry.armed())
+    return false;
+  return Registry.shouldFire(Point);
+}
+
+uint64_t FaultInjection::hits(const char *Point) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  int Index = pointIndex(Point);
+  if (Index < 0 || Points.empty())
+    return 0;
+  return Points[static_cast<size_t>(Index)].Hits;
+}
+
+uint64_t FaultInjection::fired(const char *Point) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  int Index = pointIndex(Point);
+  if (Index < 0 || Points.empty())
+    return 0;
+  return Points[static_cast<size_t>(Index)].Fired;
+}

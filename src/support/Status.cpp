@@ -1,0 +1,44 @@
+//===- support/Status.cpp -------------------------------------------------===//
+
+#include "support/Status.h"
+
+using namespace rmd;
+
+const char *rmd::errorCodeName(ErrorCode Code) {
+  switch (Code) {
+  case ErrorCode::Ok:
+    return "ok";
+  case ErrorCode::ParseError:
+    return "parse-error";
+  case ErrorCode::InfeasibleRecurrence:
+    return "infeasible-recurrence";
+  case ErrorCode::StateCapExceeded:
+    return "state-cap-exceeded";
+  case ErrorCode::VerificationFailed:
+    return "verification-failed";
+  case ErrorCode::CacheIO:
+    return "cache-io";
+  case ErrorCode::TimedOut:
+    return "timed-out";
+  case ErrorCode::Cancelled:
+    return "cancelled";
+  case ErrorCode::WorkerFailed:
+    return "worker-failed";
+  case ErrorCode::RoleUnresolved:
+    return "role-unresolved";
+  case ErrorCode::FaultInjected:
+    return "fault-injected";
+  }
+  return "unknown";
+}
+
+std::string Status::render() const {
+  if (isOk())
+    return "ok";
+  std::string Out = errorCodeName(Code);
+  if (!Message.empty()) {
+    Out += ": ";
+    Out += Message;
+  }
+  return Out;
+}

@@ -2,7 +2,12 @@
 
 #include "support/ThreadPool.h"
 
+#include "support/Degradation.h"
+#include "support/FaultInjection.h"
+
 #include <algorithm>
+#include <stdexcept>
+#include <utility>
 
 using namespace rmd;
 
@@ -54,11 +59,24 @@ void ThreadPool::workerLoop(unsigned WorkerIndex) {
       }
     }
     if (HasBlock) {
-      (*MyBody)(BlockBegin, BlockEnd);
+      runBlock(*MyBody, BlockBegin, BlockEnd);
       std::lock_guard<std::mutex> Lock(Mutex);
       if (--BlocksRemaining == 0)
         JobDone.notify_all();
     }
+  }
+}
+
+void ThreadPool::runBlock(const std::function<void(size_t, size_t)> &Body,
+                          size_t BlockBegin, size_t BlockEnd) {
+  try {
+    if (FaultInjection::fire(faultpoints::ThreadPoolTask))
+      throw std::runtime_error("injected fault: threadpool.task");
+    Body(BlockBegin, BlockEnd);
+  } catch (...) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (!TaskError)
+      TaskError = std::current_exception();
   }
 }
 
@@ -72,6 +90,11 @@ void ThreadPool::parallelFor(size_t Begin, size_t End,
   unsigned Blocks = static_cast<unsigned>(
       std::min<size_t>(NumThreads, (N + MinPerBlock - 1) / MinPerBlock));
   if (Blocks <= 1) {
+    // The inline path throws straight to the caller (same observable
+    // behavior as the parallel path's capture-and-rethrow, minus a copy of
+    // the counter bump).
+    if (FaultInjection::fire(faultpoints::ThreadPoolTask))
+      throw std::runtime_error("injected fault: threadpool.task");
     TheBody(Begin, End);
     return;
   }
@@ -93,10 +116,19 @@ void ThreadPool::parallelFor(size_t Begin, size_t End,
   WakeWorkers.notify_all();
 
   // The caller is block 0.
-  TheBody(Begin, std::min(End, Begin + Size));
+  runBlock(TheBody, Begin, std::min(End, Begin + Size));
 
   std::unique_lock<std::mutex> Lock(Mutex);
   if (--BlocksRemaining != 0)
     JobDone.wait(Lock, [&] { return BlocksRemaining == 0; });
   Body = nullptr;
+
+  // Every block has finished; surface the first captured exception on the
+  // calling thread. The pool stays usable for the next parallelFor.
+  if (TaskError) {
+    std::exception_ptr E = std::exchange(TaskError, nullptr);
+    Lock.unlock();
+    globalDegradation().noteWorkerRethrow();
+    std::rethrow_exception(E);
+  }
 }

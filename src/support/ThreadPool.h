@@ -19,9 +19,11 @@
 ///   - parallelFor() is not reentrant (no nested parallelism) and the pool
 ///     must not be shared between concurrent parallelFor() callers; the
 ///     reduction pipeline drives it from a single thread.
-///   - Exceptions must not leak from block bodies (the library reports
-///     errors via fatalError(), which aborts); workers run the body
-///     directly.
+///   - A block body that throws does NOT take the process down: the first
+///     exception thrown by any block is captured and rethrown from
+///     parallelFor() on the calling thread after every block has finished
+///     (instead of std::terminate on a worker). Later exceptions of the
+///     same call are discarded. The pool remains usable afterwards.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -30,6 +32,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -63,6 +66,9 @@ public:
   /// \p MinPerBlock caps the split: fewer blocks are used when the range is
   /// small, and a range of at most MinPerBlock indices runs inline on the
   /// caller with no synchronization at all.
+  ///
+  /// If any block throws, the first captured exception is rethrown here
+  /// after all blocks have finished (see the file comment).
   void parallelFor(size_t Begin, size_t End,
                    const std::function<void(size_t, size_t)> &Body,
                    size_t MinPerBlock = 1);
@@ -73,6 +79,11 @@ public:
 
 private:
   void workerLoop(unsigned WorkerIndex);
+
+  /// Runs \p Body over [BlockBegin, BlockEnd), capturing the first
+  /// exception of the current parallelFor into TaskError.
+  void runBlock(const std::function<void(size_t, size_t)> &Body,
+                size_t BlockBegin, size_t BlockEnd);
 
   unsigned NumThreads = 1;
   std::vector<std::thread> Workers;
@@ -89,6 +100,7 @@ private:
   size_t JobBegin = 0, JobEnd = 0, BlockSize = 0;
   unsigned NumBlocks = 0;
   unsigned BlocksRemaining = 0; // blocks not yet finished (incl. caller's)
+  std::exception_ptr TaskError; // first exception of the in-flight call
 };
 
 } // namespace rmd

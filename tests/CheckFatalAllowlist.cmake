@@ -1,0 +1,81 @@
+# Fails when fatalError() is called outside src/support/ from a file (or
+# beyond a per-file budget) not sanctioned by tests/fatal-allowlist.txt.
+# Run as: cmake -DSOURCE_DIR=<repo> -P CheckFatalAllowlist.cmake
+#
+# The point: the recoverable-error layer (support/Status.h) is only as good
+# as the absence of stray aborts. Any new fatalError in library, example, or
+# bench code must either become a structured error or be explicitly budgeted
+# in the allowlist with a rationale.
+
+if(NOT SOURCE_DIR)
+  message(FATAL_ERROR "pass -DSOURCE_DIR=<repo root>")
+endif()
+
+# Parse the allowlist into ALLOW_<index> = "<file>;<count>" pairs.
+file(STRINGS "${SOURCE_DIR}/tests/fatal-allowlist.txt" ALLOW_LINES)
+set(ALLOW_FILES "")
+foreach(LINE IN LISTS ALLOW_LINES)
+  if(LINE MATCHES "^#" OR LINE STREQUAL "")
+    continue()
+  endif()
+  if(NOT LINE MATCHES "^([^ ]+) ([0-9]+)$")
+    message(FATAL_ERROR "malformed allowlist line: '${LINE}'")
+  endif()
+  string(REPLACE "/" "_" KEY "${CMAKE_MATCH_1}")
+  string(REPLACE "." "_" KEY "${KEY}")
+  set(ALLOW_${KEY} "${CMAKE_MATCH_2}")
+  list(APPEND ALLOW_FILES "${CMAKE_MATCH_1}")
+endforeach()
+
+file(GLOB_RECURSE SOURCES
+  "${SOURCE_DIR}/src/*.cpp" "${SOURCE_DIR}/src/*.h"
+  "${SOURCE_DIR}/examples/*.cpp" "${SOURCE_DIR}/bench/*.cpp"
+  "${SOURCE_DIR}/bench/*.h")
+
+set(ERRORS "")
+set(SEEN_FILES "")
+foreach(SRC IN LISTS SOURCES)
+  file(RELATIVE_PATH REL "${SOURCE_DIR}" "${SRC}")
+  if(REL MATCHES "^src/support/")
+    continue() # the layer that *defines* fatalError polices itself
+  endif()
+  file(STRINGS "${SRC}" LINES REGEX "fatalError\\(")
+  # Count call sites, not documentation: drop comment lines that merely
+  # mention fatalError().
+  set(COUNT 0)
+  foreach(LINE IN LISTS LINES)
+    if(NOT LINE MATCHES "^[ \t]*(//|/\\*|\\*)")
+      math(EXPR COUNT "${COUNT} + 1")
+    endif()
+  endforeach()
+  if(COUNT EQUAL 0)
+    continue()
+  endif()
+  list(APPEND SEEN_FILES "${REL}")
+  string(REPLACE "/" "_" KEY "${REL}")
+  string(REPLACE "." "_" KEY "${KEY}")
+  if(NOT DEFINED ALLOW_${KEY})
+    string(APPEND ERRORS
+      "  ${REL}: ${COUNT} fatalError call(s), file not in the allowlist\n")
+  elseif(COUNT GREATER "${ALLOW_${KEY}}")
+    string(APPEND ERRORS
+      "  ${REL}: ${COUNT} fatalError call(s), allowlist budget is "
+      "${ALLOW_${KEY}}\n")
+  endif()
+endforeach()
+
+# Stale entries rot the list's authority; keep it exact.
+foreach(FILE IN LISTS ALLOW_FILES)
+  list(FIND SEEN_FILES "${FILE}" FOUND)
+  if(FOUND EQUAL -1)
+    string(APPEND ERRORS
+      "  ${FILE}: allowlisted but has no fatalError calls (stale entry)\n")
+  endif()
+endforeach()
+
+if(NOT ERRORS STREQUAL "")
+  message(FATAL_ERROR "fatalError allowlist violations:\n${ERRORS}"
+    "Convert input-triggered failures to support/Status.h errors, or "
+    "update tests/fatal-allowlist.txt with a rationale.")
+endif()
+message(STATUS "fatalError allowlist: clean")

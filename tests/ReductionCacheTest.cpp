@@ -17,6 +17,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include <unistd.h>
+
 using namespace rmd;
 
 namespace {
@@ -164,6 +166,39 @@ TEST_F(ReductionCacheTest, ContentChangesTheKey) {
   std::string Base = ReductionCache::key(Flat, {});
   MachineDescription Mips = expandAlternatives(makeMipsR3000().MD).Flat;
   EXPECT_NE(ReductionCache::key(Mips, {}), Base);
+}
+
+TEST_F(ReductionCacheTest, OrphanedTempFilesSweptOnOpen) {
+  std::filesystem::create_directories(Dir);
+  // A temp file from a writer that no longer exists: pids are capped well
+  // below this, so the sweep must treat the writer as dead and remove it.
+  std::string Orphan = Dir + "/deadbeef.mdl.tmp999999999";
+  { std::ofstream Out(Orphan); Out << "partial"; }
+  // Our own pid is alive: this one must survive the sweep.
+  std::string Live =
+      Dir + "/deadbeef.mdl.tmp" + std::to_string(::getpid());
+  { std::ofstream Out(Live); Out << "in flight"; }
+  // Not a temp-file name shape at all: untouched.
+  std::string Unrelated = Dir + "/notes.txt";
+  { std::ofstream Out(Unrelated); Out << "keep"; }
+
+  ReductionCache Cache(Dir);
+  ASSERT_TRUE(Cache.enabled());
+  EXPECT_FALSE(std::filesystem::exists(Orphan));
+  EXPECT_TRUE(std::filesystem::exists(Live));
+  EXPECT_TRUE(std::filesystem::exists(Unrelated));
+}
+
+TEST_F(ReductionCacheTest, CommittedEntrySurvivesStoreAndLeavesNoTemp) {
+  ReductionCache Cache(Dir);
+  (void)Cache.reduce(Flat);
+  size_t Temps = 0, Entries = 0;
+  for (const auto &E : std::filesystem::directory_iterator(Dir)) {
+    std::string Name = E.path().filename().string();
+    (Name.find(".tmp") != std::string::npos ? Temps : Entries) += 1;
+  }
+  EXPECT_EQ(Temps, 0u);
+  EXPECT_EQ(Entries, 1u);
 }
 
 } // namespace
