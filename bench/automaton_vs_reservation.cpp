@@ -25,6 +25,7 @@
 #include <chrono>
 #include <iostream>
 #include <memory>
+#include "support/Stats.h"
 
 using namespace rmd;
 
@@ -98,7 +99,8 @@ double perCall(uint64_t Units, uint64_t Calls) {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  rmd::StatsJsonGuard StatsJson(Argc, Argv, "automaton_vs_reservation");
   const int Horizon = 96;
   const int Steps = 6000;
 

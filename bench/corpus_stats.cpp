@@ -14,10 +14,12 @@
 
 #include <iostream>
 #include <map>
+#include "support/Stats.h"
 
 using namespace rmd;
 
-int main() {
+int main(int Argc, char **Argv) {
+  rmd::StatsJsonGuard StatsJson(Argc, Argv, "corpus_stats");
   MachineModel Cydra = makeCydra5();
   ExpandedMachine EM = expandAlternatives(Cydra.MD);
   CorpusParams Params; // the Table 5/6 corpus

@@ -14,6 +14,7 @@
 #include "query/DiscreteQuery.h"
 #include "reduce/Reduction.h"
 #include "support/RNG.h"
+#include "support/Stats.h"
 
 #include <benchmark/benchmark.h>
 
@@ -206,4 +207,14 @@ BENCHMARK(BM_BitvectorReduced)->Arg(0)->Arg(1)->Arg(2);
 BENCHMARK(BM_BitvectorAlternatives)->Arg(0)->Arg(1)->Arg(2);
 BENCHMARK(BM_AutomatonInOrder)->Arg(1)->Arg(2);
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN(), plus the shared --stats-json plumbing. The guard strips
+// its flag from argv before google-benchmark parses the command line.
+int main(int Argc, char **Argv) {
+  rmd::StatsJsonGuard StatsJson(Argc, Argv, "query_throughput");
+  benchmark::Initialize(&Argc, Argv);
+  if (benchmark::ReportUnrecognizedArguments(Argc, Argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

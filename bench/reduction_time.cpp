@@ -21,6 +21,7 @@
 #include "machines/MachineModel.h"
 #include "reduce/Reduction.h"
 #include "reduce/ReductionCache.h"
+#include "support/Stats.h"
 
 #include <benchmark/benchmark.h>
 
@@ -193,4 +194,14 @@ BENCHMARK(BM_ReduceCacheWarm)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_AutomatonBuild)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN(), plus the shared --stats-json plumbing. The guard strips
+// its flag from argv before google-benchmark parses the command line.
+int main(int Argc, char **Argv) {
+  rmd::StatsJsonGuard StatsJson(Argc, Argv, "reduction_time");
+  benchmark::Initialize(&Argc, Argv);
+  if (benchmark::ReportUnrecognizedArguments(Argc, Argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -23,6 +23,7 @@
 #include <iostream>
 
 #include <unistd.h>
+#include "support/Stats.h"
 
 using namespace rmd;
 
@@ -83,7 +84,8 @@ static void sweepRow(TextTable &T, const MachineModel &M, size_t Cap) {
   }
 }
 
-int main() {
+int main(int Argc, char **Argv) {
+  rmd::StatsJsonGuard StatsJson(Argc, Argv, "scaling_study");
   const size_t Cap = 1u << 21;
 
   std::cout << "=== scaling with cluster count (divider busy 8) ===\n\n";

@@ -18,6 +18,7 @@
 #include "support/TextTable.h"
 
 #include <iostream>
+#include "support/Stats.h"
 
 using namespace rmd;
 
@@ -64,7 +65,8 @@ MachineDescription randomMachine(RNG &R) {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  rmd::StatsJsonGuard StatsJson(Argc, Argv, "selection_ablation");
   std::cout << "=== selection heuristic vs exact minimum-usage cover ===\n\n";
 
   // The paper's example machine: greedy is known optimal here (5 usages,

@@ -13,10 +13,12 @@
 #include "BenchSupport.h"
 
 #include <iostream>
+#include "support/Stats.h"
 
 using namespace rmd;
 
-int main() {
+int main(int Argc, char **Argv) {
+  rmd::StatsJsonGuard StatsJson(Argc, Argv, "table1_cydra5");
   MachineModel Cydra = makeCydra5();
   bench::ClassMachine CM = bench::prepareClassMachine(Cydra.MD);
 

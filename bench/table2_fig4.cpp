@@ -16,6 +16,7 @@
 
 #include <iostream>
 #include <set>
+#include "support/Stats.h"
 
 using namespace rmd;
 
@@ -31,7 +32,8 @@ static MachineDescription restrictTo(const MachineDescription &MD,
   return Out;
 }
 
-int main() {
+int main(int Argc, char **Argv) {
+  rmd::StatsJsonGuard StatsJson(Argc, Argv, "table2_fig4");
   MachineModel Cydra = makeCydra5();
 
   // Which original operations does the loop benchmark actually use?

@@ -14,10 +14,12 @@
 #include "reduce/Metrics.h"
 
 #include <iostream>
+#include "support/Stats.h"
 
 using namespace rmd;
 
-int main() {
+int main(int Argc, char **Argv) {
+  rmd::StatsJsonGuard StatsJson(Argc, Argv, "table3_alpha");
   MachineModel Alpha = makeAlpha21064();
   bench::ClassMachine CM = bench::prepareClassMachine(Alpha.MD);
 

@@ -12,10 +12,12 @@
 #include "automaton/PipelineAutomaton.h"
 
 #include <iostream>
+#include "support/Stats.h"
 
 using namespace rmd;
 
-int main() {
+int main(int Argc, char **Argv) {
+  rmd::StatsJsonGuard StatsJson(Argc, Argv, "table4_mips");
   MachineModel Mips = makeMipsR3000();
   bench::ClassMachine CM = bench::prepareClassMachine(Mips.MD);
 

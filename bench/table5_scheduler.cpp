@@ -14,6 +14,7 @@
 #include "workload/Experiment.h"
 
 #include <iostream>
+#include "support/Stats.h"
 
 using namespace rmd;
 
@@ -27,7 +28,8 @@ static void printRow(TextTable &T, const char *Label, const OnlineStats &S,
   T.cell(S.max(), Decimals);
 }
 
-int main() {
+int main(int Argc, char **Argv) {
+  rmd::StatsJsonGuard StatsJson(Argc, Argv, "table5_scheduler");
   MachineModel Cydra = makeCydra5();
   ExpandedMachine EM = expandAlternatives(Cydra.MD);
 

@@ -24,10 +24,12 @@
 #include "workload/Experiment.h"
 
 #include <iostream>
+#include "support/Stats.h"
 
 using namespace rmd;
 
-int main() {
+int main(int Argc, char **Argv) {
+  rmd::StatsJsonGuard StatsJson(Argc, Argv, "table6_workunits");
   MachineModel Cydra = makeCydra5();
   ExpandedMachine EM = expandAlternatives(Cydra.MD);
 

@@ -39,6 +39,7 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include "support/Stats.h"
 
 using namespace rmd;
 
@@ -202,6 +203,7 @@ int runShadow(const std::string &MachineName) {
 } // namespace
 
 int main(int argc, char **argv) {
+  rmd::StatsJsonGuard StatsJson(argc, argv, "trace_replay");
   if (argc < 3)
     return usage();
   std::string Mode = argv[1];

@@ -32,6 +32,7 @@
 #include "sched/ScheduleRender.h"
 #include "support/Degradation.h"
 #include "support/FaultInjection.h"
+#include "support/Stats.h"
 
 #include <fstream>
 #include <iostream>
@@ -59,10 +60,13 @@ loop tridiag {
 static void usage() {
   std::cerr << "usage: imsched [--machine=<name>] [--mdl=<machine.mdl>] "
                "[--budget=<ratio>] [--deadline-ms=<n>] [--faults=<spec>] "
-               "[loop.graph | -]\n";
+               "[--stats-json=<file>] [loop.graph | -]\n";
 }
 
 int main(int Argc, char **Argv) {
+  // Consumes --stats-json=<path> (or RMD_STATS_JSON) and writes the
+  // observability snapshot on exit; see docs/observability.md.
+  StatsJsonGuard StatsJson(Argc, Argv, "imsched");
   std::string MachineName = "cydra5";
   std::string MdlPath;
   std::string LoopPath;

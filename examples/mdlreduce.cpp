@@ -43,6 +43,7 @@
 #include "reduce/ReductionCache.h"
 #include "support/Degradation.h"
 #include "support/FaultInjection.h"
+#include "support/Stats.h"
 
 #include <fstream>
 #include <iostream>
@@ -64,10 +65,14 @@ static void usage() {
                "[--classes] [--stats] [--explain] [--lint] "
                "[--threads=<n>] [--cache=<dir>] "
                "[--emit=mdl|c++] "
-               "[--namespace=<ident>] [--faults=<spec>] [input.mdl]\n";
+               "[--namespace=<ident>] [--faults=<spec>] "
+               "[--stats-json=<file>] [input.mdl]\n";
 }
 
 int main(int Argc, char **Argv) {
+  // Consumes --stats-json=<path> (or RMD_STATS_JSON) and writes the
+  // observability snapshot on exit; see docs/observability.md.
+  StatsJsonGuard StatsJson(Argc, Argv, "mdlreduce");
   SelectionObjective Objective = SelectionObjective::resUses();
   bool UseClasses = false;
   bool PrintStats = false;

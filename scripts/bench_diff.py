@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Compare two rmd-bench-v1 documents (BENCH_*.json) side by side.
+
+Usage:
+    scripts/bench_diff.py BASELINE.json CURRENT.json [--tolerance 0.25]
+
+Prints one row per machine and metric with the percentage delta, marking
+rows that regress past the tolerance (slower reduction, lower query
+throughput). Exit status is 1 when any marked regression exists, so the
+script doubles as a CI gate over two saved documents. Uses only the
+standard library.
+"""
+
+import argparse
+import json
+import sys
+
+
+METRICS = (
+    # (key, unit, higher_is_better)
+    ("reduce_ms", "ms", False),
+    ("query_mqps_discrete", "Mq/s", True),
+    ("query_mqps_bitvector", "Mq/s", True),
+)
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "rmd-bench-v1":
+        sys.exit(f"{path}: not an rmd-bench-v1 document "
+                 f"(schema = {doc.get('schema')!r})")
+    return {e["machine"]: e for e in doc.get("machines", [])}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional regression (default 0.25)")
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    header = (f"{'machine':<12} {'metric':<22} {'baseline':>12} "
+              f"{'current':>12} {'delta':>9}")
+    print(header)
+    print("-" * len(header))
+
+    regressed = False
+    for machine in sorted(set(base) | set(cur)):
+        if machine not in base or machine not in cur:
+            missing = "baseline" if machine not in base else "current"
+            print(f"{machine:<12} (only in {'current' if missing == 'baseline' else 'baseline'})")
+            continue
+        for key, unit, higher_better in METRICS:
+            b, c = base[machine][key], cur[machine][key]
+            delta = (c - b) / b if b else 0.0
+            worse = -delta if higher_better else delta
+            mark = "  <-- REGRESSED" if worse > args.tolerance else ""
+            if mark:
+                regressed = True
+            print(f"{machine:<12} {key:<22} {b:>9.3f} {unit:<4} "
+                  f"{c:>9.3f} {unit:<4} {delta:>+8.1%}{mark}")
+
+    return 1 if regressed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -292,5 +292,5 @@ void AutomatonQueryModule::reset() {
   std::fill(ReverseBefore.begin(), ReverseBefore.end(),
             Reverse.initialState());
   Instances.clear();
-  Counters.reset();
+  retireCounters();
 }

@@ -2,6 +2,7 @@
 
 #include "flm/ForbiddenLatencyMatrix.h"
 
+#include "support/Stats.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -20,6 +21,13 @@ ForbiddenLatencyMatrix::compute(const MachineDescription &MD,
          "machine; call expandAlternatives() first");
   size_t NumOps = MD.numOperations();
   ForbiddenLatencyMatrix FLM(NumOps);
+
+  // Counted once per build (not per parallel block) so the totals are
+  // identical at every thread count.
+  static StatCounter Builds("flm.builds");
+  static StatCounter Rows("flm.rows");
+  Builds.add();
+  Rows.add(NumOps);
 
   // Per-resource usage lists: Resource -> [(op, cycle)].
   std::vector<std::vector<std::pair<OpId, int>>> ByResource(

@@ -378,5 +378,5 @@ void BitvectorQueryModule::reset() {
   Owner.clear();
   UpdateMode = false;
   Instances.clear();
-  Counters.reset();
+  retireCounters();
 }

@@ -156,7 +156,7 @@ void DiscreteQueryModule::reset() {
   std::fill(Reserved.begin(), Reserved.end(), 0);
   std::fill(Owner.begin(), Owner.end(), -1);
   Instances.clear();
-  Counters.reset();
+  retireCounters();
 }
 
 size_t DiscreteQueryModule::reservedTableBytes() const {

@@ -46,7 +46,23 @@ struct WorkCounters {
   /// transition (bitvector assign&free); also included in AssignFreeUnits.
   uint64_t TransitionUnits = 0;
 
-  void reset() { *this = WorkCounters(); }
+  /// Zeroes every field explicitly. (Self-assignment from a temporary —
+  /// `*this = WorkCounters()` — invoked UB-adjacent paths under some
+  /// sanitizer builds when the struct was mid-update; member-wise reset is
+  /// also immune to a field silently surviving because it was added to the
+  /// struct but not the reset. The static_assert below forces this list
+  /// and accumulate() to be revisited when a field is added.)
+  void reset() {
+    CheckCalls = 0;
+    CheckUnits = 0;
+    AssignCalls = 0;
+    AssignUnits = 0;
+    FreeCalls = 0;
+    FreeUnits = 0;
+    AssignFreeCalls = 0;
+    AssignFreeUnits = 0;
+    TransitionUnits = 0;
+  }
 
   /// Adds \p Other's counts into this (merging counters across query
   /// modules, e.g. over the II attempts of one scheduling run).
@@ -69,6 +85,10 @@ struct WorkCounters {
     return CheckCalls + AssignCalls + FreeCalls + AssignFreeCalls;
   }
 };
+
+static_assert(sizeof(WorkCounters) == 9 * sizeof(uint64_t),
+              "WorkCounters gained a field: update reset(), accumulate(), "
+              "and the query.* stats publication in QueryModule.cpp");
 
 /// Addressing mode and window of a reserved table.
 struct QueryConfig {
@@ -158,6 +178,25 @@ public:
 
 protected:
   WorkCounters Counters;
+
+  /// Work zeroed out of Counters by retireCounters(); the destructor
+  /// publishes RetiredWork + Counters so per-run resets don't erase the
+  /// module's lifetime accounting.
+  WorkCounters RetiredWork;
+
+  /// Implementations call this from reset() (instead of Counters.reset())
+  /// so the cleared work still reaches the stats registry at destruction.
+  void retireCounters() {
+    RetiredWork.accumulate(Counters);
+    Counters.reset();
+  }
+
+  /// When true (the default), the base destructor publishes the lifetime
+  /// work to the stats registry as `query.*` counters. Wrapper modules
+  /// that mirror an inner module's counters (TracingQueryModule,
+  /// ShadowQueryModule) set this false so the same work is not published
+  /// twice.
+  bool PublishWorkToStats = true;
 };
 
 } // namespace rmd

@@ -2,6 +2,7 @@
 
 #include "reduce/GeneratingSet.h"
 
+#include "support/Stats.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -183,10 +184,21 @@ rmd::buildGeneratingSet(const ForbiddenLatencyMatrix &FLM,
   DenseForbidden Dense(FLM);
   FoldState State;
 
+  // Rule applications are counted only in the sequential apply phase, so
+  // the totals are identical at every thread count (the scan phase is
+  // read-only and the apply order is fixed).
+  static StatCounter PairStat("reduce.pairs");
+  static StatCounter Rule1Stat("reduce.rule1");
+  static StatCounter Rule2Stat("reduce.rule2");
+  static StatCounter Rule2DiscardStat("reduce.rule2_discard");
+  static StatCounter Rule3Stat("reduce.rule3");
+  static StatCounter Rule4Stat("reduce.rule4");
+
   std::vector<OpId> PairedOps(FLM.numOperations(), 0);
   std::vector<PairVerdict> Verdicts;
 
   for (const ElementaryPair &P : enumerateElementaryPairs(FLM)) {
+    PairStat.add();
     if (Trace && Trace->OnPair)
       Trace->OnPair(P);
     PairedOps[P.First.Op] = 1;
@@ -229,6 +241,7 @@ rmd::buildGeneratingSet(const ForbiddenLatencyMatrix &FLM,
         State.mergeUsage(static_cast<uint32_t>(I), P.First);
         State.mergeUsage(static_cast<uint32_t>(I), P.Second);
         PairTogether = true;
+        Rule1Stat.add();
         if (Trace && Trace->OnRule)
           Trace->OnRule(GeneratingRule::Rule1, I);
         continue;
@@ -237,6 +250,7 @@ rmd::buildGeneratingSet(const ForbiddenLatencyMatrix &FLM,
       // Rule 2: partially compatible; spawn pair + compatible subset,
       // unless that subset is empty (new resource would be the bare pair).
       if (V.Compatible.empty()) {
+        Rule2DiscardStat.add();
         if (Trace && Trace->OnRule)
           Trace->OnRule(GeneratingRule::Rule2Discard, I);
         continue;
@@ -247,8 +261,11 @@ rmd::buildGeneratingSet(const ForbiddenLatencyMatrix &FLM,
       int NewIndex =
           State.addResource(SynthesizedResource(std::move(Candidate)));
       PairTogether = true; // together in the new or in a subsuming resource
-      if (NewIndex >= 0 && Trace && Trace->OnRule)
-        Trace->OnRule(GeneratingRule::Rule2, static_cast<size_t>(NewIndex));
+      if (NewIndex >= 0) {
+        Rule2Stat.add();
+        if (Trace && Trace->OnRule)
+          Trace->OnRule(GeneratingRule::Rule2, static_cast<size_t>(NewIndex));
+      }
     }
 
     if (PairTogether)
@@ -257,8 +274,11 @@ rmd::buildGeneratingSet(const ForbiddenLatencyMatrix &FLM,
     // Rule 3: the pair's usages co-reside nowhere; add the pair itself.
     int NewIndex =
         State.addResource(SynthesizedResource({P.First, P.Second}));
-    if (NewIndex >= 0 && Trace && Trace->OnRule)
-      Trace->OnRule(GeneratingRule::Rule3, static_cast<size_t>(NewIndex));
+    if (NewIndex >= 0) {
+      Rule3Stat.add();
+      if (Trace && Trace->OnRule)
+        Trace->OnRule(GeneratingRule::Rule3, static_cast<size_t>(NewIndex));
+    }
   }
 
   // Rule 4: operations whose only forbidden latency is the 0 self-latency
@@ -267,8 +287,11 @@ rmd::buildGeneratingSet(const ForbiddenLatencyMatrix &FLM,
     if (PairedOps[Op] || !FLM.isForbidden(Op, Op, 0))
       continue;
     int NewIndex = State.addResource(SynthesizedResource({SynthUsage{Op, 0}}));
-    if (NewIndex >= 0 && Trace && Trace->OnRule)
-      Trace->OnRule(GeneratingRule::Rule4, static_cast<size_t>(NewIndex));
+    if (NewIndex >= 0) {
+      Rule4Stat.add();
+      if (Trace && Trace->OnRule)
+        Trace->OnRule(GeneratingRule::Rule4, static_cast<size_t>(NewIndex));
+    }
   }
 
   return std::move(State.Set);
@@ -352,9 +375,15 @@ rmd::pruneGeneratingSet(std::vector<SynthesizedResource> Set,
   else
     Judge(0, Set.size());
 
+  // Kept/dropped are tallied at the sequential final filter (verdicts are
+  // thread-count-invariant, so these counts are too).
+  static StatCounter KeptStat("prune.kept");
+  static StatCounter DroppedStat("prune.dropped");
   std::vector<SynthesizedResource> Pruned;
   for (size_t I = 0; I < Set.size(); ++I)
     if (!Removed[I])
       Pruned.push_back(std::move(Set[I]));
+  KeptStat.add(Pruned.size());
+  DroppedStat.add(Set.size() - Pruned.size());
   return Pruned;
 }

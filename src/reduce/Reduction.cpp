@@ -5,7 +5,9 @@
 #include "reduce/Metrics.h"
 #include "support/FatalError.h"
 #include "support/FaultInjection.h"
+#include "support/Stats.h"
 #include "support/ThreadPool.h"
+#include "support/TraceSpan.h"
 
 #include <algorithm>
 #include <exception>
@@ -63,23 +65,41 @@ reduceMachineImpl(const MachineDescription &MD,
          "reduceMachine requires an expanded machine; call "
          "expandAlternatives() first");
 
+  TraceSpan ReduceSpan("reduce");
+  static StatCounter GenSizeStat("reduce.generating_set_size");
+  static StatCounter PrunedSizeStat("reduce.pruned_set_size");
+  static StatCounter CoveredStat("reduce.covered_latencies");
+
   // One pool for every parallel phase; a single-thread pool runs inline.
   ThreadPool Pool(ThreadPool::resolveThreadCount(Options.Threads));
   ThreadPool *PoolPtr = Pool.concurrency() > 1 ? &Pool : nullptr;
 
-  ForbiddenLatencyMatrix FLM = ForbiddenLatencyMatrix::compute(MD, PoolPtr);
+  ForbiddenLatencyMatrix FLM = [&] {
+    TraceSpan Span("flm");
+    return ForbiddenLatencyMatrix::compute(MD, PoolPtr);
+  }();
 
   ReductionResult Result;
-  std::vector<SynthesizedResource> Generating =
-      buildGeneratingSet(FLM, Options.Trace, PoolPtr);
+  std::vector<SynthesizedResource> Generating = [&] {
+    TraceSpan Span("fold");
+    return buildGeneratingSet(FLM, Options.Trace, PoolPtr);
+  }();
   Result.GeneratingSetSize = Generating.size();
+  GenSizeStat.add(Result.GeneratingSetSize);
 
-  std::vector<SynthesizedResource> Pruned =
-      pruneGeneratingSet(std::move(Generating), PoolPtr);
+  std::vector<SynthesizedResource> Pruned = [&] {
+    TraceSpan Span("prune");
+    return pruneGeneratingSet(std::move(Generating), PoolPtr);
+  }();
   Result.PrunedSetSize = Pruned.size();
+  PrunedSizeStat.add(Result.PrunedSetSize);
 
-  SelectionResult Selection = selectCover(FLM, Pruned, Options.Objective);
+  SelectionResult Selection = [&] {
+    TraceSpan Span("select");
+    return selectCover(FLM, Pruned, Options.Objective);
+  }();
   Result.CoveredLatencies = FLM.canonicalCount();
+  CoveredStat.add(Result.CoveredLatencies);
 
   std::string Suffix = Options.Objective.ObjectiveKind ==
                                SelectionObjective::ResUses
@@ -106,14 +126,20 @@ reduceMachineImpl(const MachineDescription &MD,
   // Re-check against the *already computed* original matrix (sharing the
   // pool), rather than verifyEquivalence()'s two fresh sequential computes.
   if (Options.Verify) {
+    TraceSpan Span("verify");
+    static StatCounter PreservedStat("reduce.flm_preserved");
+    static StatCounter ViolationStat("reduce.flm_violations");
     bool Mismatch =
         !(FLM == ForbiddenLatencyMatrix::compute(Result.Reduced, PoolPtr));
     if (FaultInjection::fire(faultpoints::ReduceVerify))
       Mismatch = true;
-    if (Mismatch)
+    if (Mismatch) {
+      ViolationStat.add();
       return Status(ErrorCode::VerificationFailed,
                     "reduction of '" + MD.name() +
                         "' failed to preserve the forbidden latency matrix");
+    }
+    PreservedStat.add();
   }
   return Result;
 }

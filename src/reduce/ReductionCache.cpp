@@ -8,6 +8,7 @@
 #include "support/Diagnostics.h"
 #include "support/FatalError.h"
 #include "support/FaultInjection.h"
+#include "support/Stats.h"
 
 #include <cstdint>
 #include <cstdlib>
@@ -115,6 +116,8 @@ ReductionCache::load(const std::string &Key) const {
   auto Reject = [&]() -> std::optional<ReductionResult> {
     std::error_code EC;
     std::filesystem::remove(Path, EC);
+    static StatCounter RecoveryStat("cache.recoveries");
+    RecoveryStat.add();
     globalDegradation().noteCacheRecovery();
     return std::nullopt;
   };
@@ -205,15 +208,22 @@ ReductionCache::reduceChecked(const MachineDescription &MD,
     *Hit = false;
   if (Options.Trace) // a cache hit would silently skip the traced fold
     return reduceMachineChecked(MD, Options);
+  static StatCounter HitStat("cache.hits");
+  static StatCounter MissStat("cache.misses");
+  static StatCounter StoreStat("cache.stores");
   std::string Key = key(MD, Options.Objective);
   if (std::optional<ReductionResult> Cached = load(Key)) {
     if (Hit)
       *Hit = true;
+    HitStat.add();
     return std::move(*Cached);
   }
+  MissStat.add();
   Expected<ReductionResult> Result = reduceMachineChecked(MD, Options);
-  if (Result)
+  if (Result) {
     store(Key, Result.value());
+    StoreStat.add();
+  }
   return Result;
 }
 

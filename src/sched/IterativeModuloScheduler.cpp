@@ -5,6 +5,7 @@
 #include "query/DiscreteQuery.h" // hasModuloSelfConflict
 #include "sched/MII.h"
 #include "support/FaultInjection.h"
+#include "support/Stats.h"
 #include "verify/QueryTrace.h"
 
 #include <algorithm>
@@ -283,6 +284,42 @@ rmd::moduloSchedule(const DepGraph &G, const MachineDescription &MD,
   assert(G.numNodes() > 0 && "cannot schedule an empty graph");
 
   ModuloScheduleResult Result;
+
+  // Published on every exit path (success, infeasible recurrence, timeout,
+  // ceiling) by the scope guard below, so stats snapshots account for every
+  // run. All values derive from the deterministic scheduling loop.
+  struct StatsPublisher {
+    ModuloScheduleResult &R;
+    ~StatsPublisher() {
+      static StatCounter Runs("sched.ims.runs");
+      static StatCounter Attempts("sched.ims.attempts");
+      static StatCounter Decisions("sched.ims.decisions");
+      static StatCounter EvictedRes("sched.ims.evicted_resource");
+      static StatCounter EvictedDep("sched.ims.evicted_dependence");
+      static StatCounter Scheduled("sched.ims.scheduled");
+      static StatCounter IITotal("sched.ims.ii_total");
+      static StatCounter MIITotal("sched.ims.mii_total");
+      static StatCounter IIExcess("sched.ims.ii_excess");
+      static StatHistogram Checks("sched.ims.checks_per_decision");
+      Runs.add();
+      Attempts.add(R.Stats.DecisionsPerAttempt.size());
+      uint64_t TotalDecisions = 0;
+      for (uint64_t D : R.Stats.DecisionsPerAttempt)
+        TotalDecisions += D;
+      Decisions.add(TotalDecisions);
+      EvictedRes.add(R.Stats.EvictedByResource);
+      EvictedDep.add(R.Stats.EvictedByDependence);
+      for (uint32_t C : R.Stats.ChecksPerDecision)
+        Checks.record(C);
+      if (R.Success) {
+        Scheduled.add();
+        IITotal.add(static_cast<uint64_t>(R.Stats.II));
+        MIITotal.add(static_cast<uint64_t>(R.Stats.MII));
+        IIExcess.add(static_cast<uint64_t>(R.Stats.II - R.Stats.MII));
+      }
+    }
+  } Publisher{Result};
+
   Result.Stats.ResMII = computeResMII(MD, G);
   Expected<int> RecMII = computeRecMIIChecked(G);
   if (!RecMII) {

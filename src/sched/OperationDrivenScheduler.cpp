@@ -4,6 +4,7 @@
 
 #include "support/Degradation.h"
 #include "support/FaultInjection.h"
+#include "support/Stats.h"
 #include "verify/QueryTrace.h"
 
 #include <algorithm>
@@ -48,6 +49,24 @@ OperationDrivenResult rmd::operationDrivenSchedule(
   size_t N = G.numNodes();
   Result.Time.assign(N, 0);
   Result.Alternative.assign(N, -1);
+
+  // Published on every exit (success, timeout, budget) by the scope guard.
+  uint64_t Backtracks = 0;
+  struct StatsPublisher {
+    OperationDrivenResult &R;
+    uint64_t &Backtracks;
+    ~StatsPublisher() {
+      static StatCounter Runs("sched.block.runs");
+      static StatCounter Decisions("sched.block.decisions");
+      static StatCounter BacktrackStat("sched.block.backtracks");
+      static StatCounter Scheduled("sched.block.scheduled");
+      Runs.add();
+      Decisions.add(R.Decisions);
+      BacktrackStat.add(Backtracks);
+      if (R.Success)
+        Scheduled.add();
+    }
+  } Publisher{Result, Backtracks};
 
   // Seed predecessor residue below instance id -1; remember each so a
   // forced placement that trampled one can restore it (the predecessor
@@ -147,6 +166,7 @@ OperationDrivenResult rmd::operationDrivenSchedule(
           Scheduled[Victim] = false;
           --NumScheduled;
           ++Evictions[Victim];
+          ++Backtracks;
         }
         if (!HitDangling)
           break;
@@ -186,6 +206,7 @@ OperationDrivenResult rmd::operationDrivenSchedule(
       Scheduled[W] = false;
       --NumScheduled;
       ++Evictions[W];
+      ++Backtracks;
     };
     for (uint32_t EIdx : G.succEdges(V)) {
       const DepEdge &E = G.edges()[EIdx];

@@ -17,6 +17,8 @@
 #ifndef RMD_SUPPORT_DEGRADATION_H
 #define RMD_SUPPORT_DEGRADATION_H
 
+#include "support/Stats.h"
+
 #include <atomic>
 #include <cstdint>
 #include <ostream>
@@ -87,16 +89,40 @@ inline std::ostream &operator<<(std::ostream &OS,
 }
 
 /// The process-wide tally, bumped by library fallback sites and read by
-/// the CLIs' --stats output. Thread-safe.
+/// the CLIs' --stats output. Thread-safe. Every rung is mirrored into the
+/// stats registry under a `degrade.*` counter so degradations appear in
+/// `--stats-json` snapshots alongside everything else.
 class GlobalDegradation {
 public:
-  void noteReduceFallback() { ReduceFallbacks.fetch_add(1, Relaxed); }
-  void noteCacheRecovery() { CacheRecoveries.fetch_add(1, Relaxed); }
-  void noteAutomatonFallback() { AutomatonFallbacks.fetch_add(1, Relaxed); }
-  void noteWorkerRethrow() { WorkerRethrows.fetch_add(1, Relaxed); }
-  void noteSchedulerTimeout() { SchedulerTimeouts.fetch_add(1, Relaxed); }
+  void noteReduceFallback() {
+    ReduceFallbacks.fetch_add(1, Relaxed);
+    static StatCounter C("degrade.reduce_fallbacks");
+    C.add();
+  }
+  void noteCacheRecovery() {
+    CacheRecoveries.fetch_add(1, Relaxed);
+    static StatCounter C("degrade.cache_recoveries");
+    C.add();
+  }
+  void noteAutomatonFallback() {
+    AutomatonFallbacks.fetch_add(1, Relaxed);
+    static StatCounter C("degrade.automaton_fallbacks");
+    C.add();
+  }
+  void noteWorkerRethrow() {
+    WorkerRethrows.fetch_add(1, Relaxed);
+    static StatCounter C("degrade.worker_rethrows");
+    C.add();
+  }
+  void noteSchedulerTimeout() {
+    SchedulerTimeouts.fetch_add(1, Relaxed);
+    static StatCounter C("degrade.scheduler_timeouts");
+    C.add();
+  }
   void noteInfeasibleRecurrence() {
     InfeasibleRecurrences.fetch_add(1, Relaxed);
+    static StatCounter C("degrade.infeasible_recurrences");
+    C.add();
   }
 
   DegradationCounters snapshot() const {

@@ -1,0 +1,116 @@
+//===- support/TraceSpan.h - RAII phase spans with nesting -----*- C++ -*-===//
+///
+/// \file
+/// Scoped phase timing: a TraceSpan marks one phase of a pipeline, spans
+/// nest per thread, and each span records its wall-clock duration into the
+/// stats registry under its full nesting path ("reduce", "reduce/flm",
+/// "reduce/fold", ...). Snapshot timers therefore show both how often each
+/// phase ran (deterministic) and how long it took (wall clock).
+///
+///   {
+///     TraceSpan Span("reduce");
+///     { TraceSpan Inner("flm"); ... }   // recorded as "reduce/flm"
+///   }
+///
+/// Setting the RMD_TRACE_SPANS environment variable additionally streams
+/// enter/exit lines with indentation to stderr, for watching a live run:
+///
+///   > reduce
+///   . > flm
+///   . < flm 1.24ms
+///   < reduce 5.81ms
+///
+/// Span names must be string literals (or otherwise outlive the span);
+/// paths are joined with '/'. Spans are thread-local: nesting tracks the
+/// constructing thread only, so worker-pool tasks may use spans without
+/// synchronizing, though the hot paths deliberately do not (per-item spans
+/// would cost more than the work they time).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMD_SUPPORT_TRACESPAN_H
+#define RMD_SUPPORT_TRACESPAN_H
+
+#include "support/Stats.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace rmd {
+
+class TraceSpan {
+public:
+  explicit TraceSpan(const char *Name) : Start(Clock::now()) {
+    std::vector<const char *> &Stack = stack();
+    Stack.push_back(Name);
+    Path = join(Stack);
+    Slot = StatsRegistry::instance().registerStat(Path, StatKind::Timer);
+    if (streaming())
+      std::fprintf(stderr, "%s> %s\n", indent(Stack.size() - 1).c_str(),
+                   Name);
+  }
+
+  ~TraceSpan() {
+    auto Ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  Clock::now() - Start)
+                  .count();
+    StatsRegistry::instance().recordTimer(Slot,
+                                          static_cast<uint64_t>(Ns));
+    std::vector<const char *> &Stack = stack();
+    if (streaming())
+      std::fprintf(stderr, "%s< %s %.2fms\n",
+                   indent(Stack.size() - 1).c_str(), Stack.back(),
+                   static_cast<double>(Ns) / 1e6);
+    Stack.pop_back();
+  }
+
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+
+  /// The full nesting path this span records under.
+  const std::string &path() const { return Path; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+
+  static std::vector<const char *> &stack() {
+    thread_local std::vector<const char *> Stack;
+    return Stack;
+  }
+
+  static bool streaming() {
+    static bool On = [] {
+      const char *Env = std::getenv("RMD_TRACE_SPANS");
+      return Env && *Env;
+    }();
+    return On;
+  }
+
+  static std::string join(const std::vector<const char *> &Stack) {
+    std::string Path;
+    for (const char *Part : Stack) {
+      if (!Path.empty())
+        Path += '/';
+      Path += Part;
+    }
+    return Path;
+  }
+
+  static std::string indent(size_t Depth) {
+    std::string Pad;
+    for (size_t I = 0; I < Depth; ++I)
+      Pad += ". ";
+    return Pad;
+  }
+
+  Clock::time_point Start;
+  std::string Path;
+  size_t Slot;
+};
+
+} // namespace rmd
+
+#endif // RMD_SUPPORT_TRACESPAN_H

@@ -113,7 +113,11 @@ class TracingQueryModule : public ContentionQueryModule {
 public:
   /// Both \p Inner and \p Out must outlive this module.
   TracingQueryModule(ContentionQueryModule &Inner, QueryTrace &Out)
-      : Inner(Inner), Out(Out) {}
+      : Inner(Inner), Out(Out) {
+    // Counters mirror the inner module's (sync()); the inner module
+    // publishes them itself.
+    PublishWorkToStats = false;
+  }
 
   bool check(OpId Op, int Cycle) override;
   void assign(OpId Op, int Cycle, InstanceId Instance) override;

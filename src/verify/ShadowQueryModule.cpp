@@ -17,6 +17,8 @@ ShadowQueryModule::ShadowQueryModule(
     : Ref(std::move(Reference)), Cand(std::move(Candidate)),
       Options(std::move(TheOptions)) {
   assert(Ref && Cand && "shadow module requires two inner modules");
+  // Work is mirrored from the reference module, which publishes it.
+  PublishWorkToStats = false;
   if (!Options.OnDivergence)
     Options.OnDivergence = [](const std::string &Report) {
       fatalError(Report.c_str());

@@ -522,3 +522,163 @@ TEST_F(FaultInjectionTest, SchedulerRejectsInfeasibleRecurrence) {
   EXPECT_EQ(R.Error.code(), ErrorCode::InfeasibleRecurrence);
   EXPECT_EQ(R.Stats.Degradation.InfeasibleRecurrences, 1u);
 }
+
+//===----------------------------------------------------------------------===//
+// Degradation-counter coverage: each rung bumps exactly its own counter
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Name/member table over DegradationCounters so each rung test can assert
+/// "my counter moved by one, every other counter did not move at all" —
+/// a rung that accidentally double-counts or bleeds into a sibling rung
+/// fails by name.
+struct RungField {
+  const char *Name;
+  uint64_t DegradationCounters::*Member;
+};
+
+constexpr RungField AllRungs[] = {
+    {"reduce-fallbacks", &DegradationCounters::ReduceFallbacks},
+    {"cache-recoveries", &DegradationCounters::CacheRecoveries},
+    {"automaton-fallbacks", &DegradationCounters::AutomatonFallbacks},
+    {"worker-rethrows", &DegradationCounters::WorkerRethrows},
+    {"scheduler-timeouts", &DegradationCounters::SchedulerTimeouts},
+    {"infeasible-recurrences", &DegradationCounters::InfeasibleRecurrences},
+};
+
+void expectExactlyOneRung(const DegradationCounters &Before,
+                          const DegradationCounters &After,
+                          uint64_t DegradationCounters::*Taken) {
+  for (const RungField &F : AllRungs) {
+    uint64_t Delta = After.*(F.Member) - Before.*(F.Member);
+    EXPECT_EQ(Delta, F.Member == Taken ? 1u : 0u) << F.Name;
+  }
+}
+
+MachineDescription fig1Flat() {
+  DiagnosticEngine Diags;
+  std::optional<MachineDescription> MD = parseMdl(Fig1Mdl, Diags);
+  EXPECT_TRUE(MD.has_value());
+  return expandAlternatives(*MD).Flat;
+}
+
+} // namespace
+
+TEST_F(FaultInjectionTest, ReduceFallbackRungCountsExactlyOnce) {
+  MachineDescription Flat = fig1Flat();
+  ASSERT_TRUE(
+      FaultInjection::instance().configure(faultpoints::ReduceVerify).isOk());
+  DegradationCounters Before = globalDegradation().snapshot();
+  SafeReduction Safe = reduceMachineOrFallback(Flat);
+  FaultInjection::instance().reset();
+  EXPECT_TRUE(Safe.Degraded);
+  expectExactlyOneRung(Before, globalDegradation().snapshot(),
+                       &DegradationCounters::ReduceFallbacks);
+}
+
+TEST_F(FaultInjectionTest, CacheRecoveryRungCountsExactlyOnce) {
+  MachineDescription Flat = fig1Flat();
+  ReductionCache Cache(Dir);
+  ASSERT_TRUE(Cache.reduceChecked(Flat).hasValue()); // warm the entry
+
+  // One rejected read, then a successful recompute + store: exactly one
+  // cache recovery, and no reduce fallback (the recompute succeeded).
+  ASSERT_TRUE(
+      FaultInjection::instance().configure(faultpoints::CacheRead).isOk());
+  DegradationCounters Before = globalDegradation().snapshot();
+  bool Hit = true;
+  Expected<ReductionResult> R = Cache.reduceChecked(Flat, {}, &Hit);
+  FaultInjection::instance().reset();
+  ASSERT_TRUE(R.hasValue());
+  EXPECT_FALSE(Hit);
+  expectExactlyOneRung(Before, globalDegradation().snapshot(),
+                       &DegradationCounters::CacheRecoveries);
+}
+
+TEST_F(FaultInjectionTest, AutomatonFallbackRungCountsExactlyOnce) {
+  MachineDescription Flat = fig1Flat();
+  ASSERT_TRUE(
+      FaultInjection::instance().configure(faultpoints::AutomatonCap).isOk());
+  DegradationCounters Before = globalDegradation().snapshot();
+  Status Why;
+  std::unique_ptr<ContentionQueryModule> Q =
+      makeAutomatonOrFallback(Flat, 32, (1u << 22), &Why);
+  FaultInjection::instance().reset();
+  ASSERT_NE(Q, nullptr);
+  EXPECT_EQ(Why.code(), ErrorCode::StateCapExceeded);
+  expectExactlyOneRung(Before, globalDegradation().snapshot(),
+                       &DegradationCounters::AutomatonFallbacks);
+}
+
+TEST_F(FaultInjectionTest, WorkerRethrowRungCountsExactlyOnce) {
+  // One throwing block per parallelFor: the pool rethrows the captured
+  // exception once at join, so the rung counts once per failed job, not
+  // once per worker.
+  ThreadPool Pool(4);
+  DegradationCounters Before = globalDegradation().snapshot();
+  EXPECT_THROW(
+      Pool.parallelFor(0, 1000,
+                       [](size_t Begin, size_t) {
+                         if (Begin == 0)
+                           throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  expectExactlyOneRung(Before, globalDegradation().snapshot(),
+                       &DegradationCounters::WorkerRethrows);
+}
+
+TEST_F(FaultInjectionTest, SchedulerTimeoutRungCountsExactlyOnce) {
+  DiagnosticEngine Diags;
+  std::optional<MachineDescription> MD = parseMdl(Fig1Mdl, Diags);
+  ASSERT_TRUE(MD.has_value());
+  ExpandedMachine EM = expandAlternatives(*MD);
+
+  DepGraph G("loop");
+  NodeId N0 = G.addNode(0);
+  NodeId N1 = G.addNode(1);
+  G.addEdge(N0, N1, 1);
+
+  QueryEnvironment Env;
+  Env.FlatMD = &EM.Flat;
+  Env.Groups = &EM.Groups;
+  Env.MakeModule = [&EM](QueryConfig C) {
+    return std::unique_ptr<ContentionQueryModule>(
+        new DiscreteQueryModule(EM.Flat, C));
+  };
+  ModuloScheduleOptions Options;
+  Options.TheDeadline = Deadline::afterMillis(-1);
+
+  DegradationCounters Before = globalDegradation().snapshot();
+  ModuloScheduleResult R = moduloSchedule(G, *MD, Env, Options);
+  EXPECT_EQ(R.Outcome, ScheduleOutcome::TimedOut);
+  expectExactlyOneRung(Before, globalDegradation().snapshot(),
+                       &DegradationCounters::SchedulerTimeouts);
+}
+
+TEST_F(FaultInjectionTest, InfeasibleRecurrenceRungCountsExactlyOnce) {
+  DiagnosticEngine Diags;
+  std::optional<MachineDescription> MD = parseMdl(Fig1Mdl, Diags);
+  ASSERT_TRUE(MD.has_value());
+  ExpandedMachine EM = expandAlternatives(*MD);
+
+  DepGraph G("bad");
+  NodeId A = G.addNode(0);
+  NodeId B = G.addNode(1);
+  G.addEdge(A, B, 2);
+  G.addEdge(B, A, 3); // zero-distance cycle with positive delay
+
+  QueryEnvironment Env;
+  Env.FlatMD = &EM.Flat;
+  Env.Groups = &EM.Groups;
+  Env.MakeModule = [&EM](QueryConfig C) {
+    return std::unique_ptr<ContentionQueryModule>(
+        new DiscreteQueryModule(EM.Flat, C));
+  };
+
+  DegradationCounters Before = globalDegradation().snapshot();
+  ModuloScheduleResult R = moduloSchedule(G, *MD, Env, {});
+  EXPECT_EQ(R.Outcome, ScheduleOutcome::InfeasibleRecurrence);
+  expectExactlyOneRung(Before, globalDegradation().snapshot(),
+                       &DegradationCounters::InfeasibleRecurrences);
+}

@@ -9,7 +9,9 @@
 #include "machines/MachineModel.h"
 #include "mdl/Parser.h"
 #include "mdl/Writer.h"
+#include "reduce/Reduction.h"
 #include "support/RNG.h"
+#include "support/Stats.h"
 
 #include <gtest/gtest.h>
 
@@ -94,4 +96,61 @@ TEST(MdlFuzz, TruncationsOfValidInput) {
   std::string Valid = writeMdl(makeMipsR3000().MD);
   for (size_t Cut = 0; Cut < Valid.size(); Cut += 13)
     parseMustBehave(Valid.substr(0, Cut));
+}
+
+//===----------------------------------------------------------------------===//
+// Reduction correctness under fuzzed *valid* machines
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A random valid single-alternative machine: 2-6 resources, 1-5
+/// operations, each with 1-4 distinct usages at cycles 0-7. ReservationTable
+/// dedups, so every generated description passes validate() by
+/// construction.
+MachineDescription randomValidMachine(uint64_t Seed) {
+  RNG R(Seed);
+  MachineDescription MD("fuzz" + std::to_string(Seed));
+  unsigned NumResources = 2 + static_cast<unsigned>(R.nextBelow(5));
+  for (unsigned I = 0; I < NumResources; ++I)
+    MD.addResource("r" + std::to_string(I));
+  unsigned NumOps = 1 + static_cast<unsigned>(R.nextBelow(5));
+  for (unsigned I = 0; I < NumOps; ++I) {
+    ReservationTable Table;
+    unsigned NumUsages = 1 + static_cast<unsigned>(R.nextBelow(4));
+    for (unsigned U = 0; U < NumUsages; ++U)
+      Table.addUsage(static_cast<ResourceId>(R.nextBelow(NumResources)),
+                     static_cast<int>(R.nextBelow(8)));
+    MD.addOperation("op" + std::to_string(I), std::move(Table));
+  }
+  return MD;
+}
+
+} // namespace
+
+// Every fuzzed valid machine must reduce successfully AND report the
+// verification verdict into the stats registry: after a checked reduction,
+// the snapshot shows exactly one passed FLM re-verification and zero
+// violations. This pins the observability layer to the paper's Theorem 1
+// check — a reduction that silently skips verification (or a counter that
+// drifts from the verifier) fails here across 40 machine shapes.
+TEST(MdlFuzz, FuzzedValidMachinesReportFlmPreserved) {
+  for (uint64_t Seed = 1; Seed <= 40; ++Seed) {
+    MachineDescription MD = randomValidMachine(Seed);
+    DiagnosticEngine Check;
+    ASSERT_TRUE(MD.validate(Check)) << "seed " << Seed;
+
+    StatsRegistry::instance().reset();
+    Expected<ReductionResult> Result = reduceMachineChecked(MD);
+    ASSERT_TRUE(Result.hasValue())
+        << "seed " << Seed << ": " << Result.status().render();
+
+    StatsSnapshot Snap = StatsRegistry::instance().snapshot();
+    auto Preserved = Snap.Counters.find("reduce.flm_preserved");
+    auto Violations = Snap.Counters.find("reduce.flm_violations");
+    ASSERT_NE(Preserved, Snap.Counters.end()) << "seed " << Seed;
+    ASSERT_NE(Violations, Snap.Counters.end()) << "seed " << Seed;
+    EXPECT_EQ(Preserved->second, 1u) << "seed " << Seed;
+    EXPECT_EQ(Violations->second, 0u) << "seed " << Seed;
+  }
 }
