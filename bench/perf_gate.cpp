@@ -5,7 +5,7 @@
 // "rmd-bench-v1" JSON document. Modes:
 //
 //   perf_gate [--out=FILE] [--repeats=N]
-//     Measure and write the document (default: BENCH_pr5.json at the
+//     Measure and write the document (default: BENCH_pr7.json at the
 //     repository root when built in-tree, else in the current directory;
 //     --out=- for stdout).
 //
@@ -53,8 +53,8 @@ int main(int Argc, char **Argv) {
   bool WriteBaseline = false;
   std::string BaselinePath;
   std::string OutPath = std::string(RMD_SOURCE_DIR).empty()
-                            ? "BENCH_pr5.json"
-                            : std::string(RMD_SOURCE_DIR) + "/BENCH_pr5.json";
+                            ? "BENCH_pr7.json"
+                            : std::string(RMD_SOURCE_DIR) + "/BENCH_pr7.json";
   int Repeats = 3;
   double Tolerance = 0.25;
   double Headroom = 0.50;

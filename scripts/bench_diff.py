@@ -51,19 +51,45 @@ def main():
 
     regressed = False
     for machine in sorted(set(base) | set(cur)):
-        if machine not in base or machine not in cur:
-            missing = "baseline" if machine not in base else "current"
-            print(f"{machine:<12} (only in {'current' if missing == 'baseline' else 'baseline'})")
+        if machine not in cur:
+            # A machine silently dropped from the current document is a
+            # gate failure, not a footnote: the regression it would have
+            # shown is simply absent.
+            print(f"{machine:<12} (missing from current)  <-- REGRESSED")
+            regressed = True
+            continue
+        if machine not in base:
+            # New machines have nothing to regress against; report them so
+            # the baseline gets refreshed, but do not fail the gate.
+            print(f"{machine:<12} (new; not in baseline)")
             continue
         for key, unit, higher_better in METRICS:
-            b, c = base[machine][key], cur[machine][key]
-            delta = (c - b) / b if b else 0.0
-            worse = -delta if higher_better else delta
+            b = base[machine].get(key)
+            c = cur[machine].get(key)
+            if b is None or c is None:
+                # A missing metric means the bench did not measure what the
+                # gate is supposed to guard — fail, don't traceback.
+                where = "baseline" if b is None else "current"
+                print(f"{machine:<12} {key:<22} (missing from {where})"
+                      f"  <-- REGRESSED")
+                regressed = True
+                continue
+            if b:
+                delta = (c - b) / b
+                worse = -delta if higher_better else delta
+                delta_str = f"{delta:>+8.1%}"
+            else:
+                # Zero baseline: any nonzero current value is an infinite
+                # relative change. Going from 0 to nonzero is a regression
+                # for lower-is-better metrics and an improvement otherwise;
+                # 0 -> 0 is flat.
+                worse = float("inf") if (c and not higher_better) else 0.0
+                delta_str = f"{'+inf' if c else '+0.0%':>8}"
             mark = "  <-- REGRESSED" if worse > args.tolerance else ""
             if mark:
                 regressed = True
             print(f"{machine:<12} {key:<22} {b:>9.3f} {unit:<4} "
-                  f"{c:>9.3f} {unit:<4} {delta:>+8.1%}{mark}")
+                  f"{c:>9.3f} {unit:<4} {delta_str}{mark}")
 
     return 1 if regressed else 0
 

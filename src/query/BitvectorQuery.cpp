@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <climits>
 
 using namespace rmd;
 
@@ -36,82 +37,120 @@ BitvectorQueryModule::BitvectorQueryModule(const MachineDescription &TheMD,
   } else {
     NumPhases = K;
   }
+  KReciprocal = ((uint64_t(1) << KReciprocalShift) + K - 1) / K;
   buildPatterns();
 }
 
+void BitvectorQueryModule::bucketUsages(const ReservationTable &RT,
+                                        unsigned Phase,
+                                        std::vector<uint64_t> &Scratch,
+                                        int &MinWord, int &MaxWord) const {
+  for (const ResourceUsage &U : RT.usages()) {
+    // A negative usage cycle would produce a negative span word here, and
+    // WordBase + FirstWord on a size_t base later wraps to a huge index
+    // that ensureWords() tries to allocate. Reject loudly; lintMachine()
+    // diagnoses such descriptions up front.
+    if (U.Cycle < 0)
+      fatalError("reservation table has a negative usage cycle; "
+                 "run lintMachine()/validate() on this description");
+    int Word;
+    unsigned Lane;
+    if (Config.Mode == QueryConfig::Modulo) {
+      // Phase is the issue slot within the MRT; the modulo wrap is folded
+      // into the pattern here, at build time, so the query loops scan a
+      // straight span with no per-word wrap handling.
+      int Slot = (static_cast<int>(Phase) + U.Cycle) % Config.ModuloII;
+      Word = Slot / static_cast<int>(K);
+      Lane = static_cast<unsigned>(Slot) % K;
+    } else {
+      // Phase is the issue cycle's position within its word.
+      int Shifted = static_cast<int>(Phase) + U.Cycle;
+      Word = Shifted / static_cast<int>(K);
+      Lane = static_cast<unsigned>(Shifted) % K;
+    }
+    if (static_cast<size_t>(Word) >= Scratch.size())
+      Scratch.resize(static_cast<size_t>(Word) + 1, 0);
+    Scratch[static_cast<size_t>(Word)] |=
+        1ull << (Lane * static_cast<unsigned>(NumResources) + U.Resource);
+    MinWord = std::min(MinWord, Word);
+    MaxWord = std::max(MaxWord, Word);
+  }
+}
+
+BitvectorQueryModule::PatternRef
+BitvectorQueryModule::emitPattern(std::vector<uint64_t> &Scratch, int MinWord,
+                                  int MaxWord) {
+  PatternRef Ref;
+  if (MaxWord < MinWord)
+    return Ref; // no usages: an empty span
+  Ref.MaskBegin = static_cast<uint32_t>(MaskPool.size());
+  Ref.FirstWord = MinWord;
+  Ref.DenseLen = static_cast<uint16_t>(MaxWord - MinWord + 1);
+  uint16_t Nonempty = 0;
+  for (int W = MinWord; W <= MaxWord; ++W) {
+    uint64_t Mask = Scratch[static_cast<size_t>(W)];
+    Scratch[static_cast<size_t>(W)] = 0;
+    if (Mask)
+      ++Nonempty;
+    MaskPool.push_back(Mask);
+    PrefixPool.push_back(Nonempty);
+  }
+  Ref.Nonempty = Nonempty;
+  if (Ref.DenseLen == 1)
+    Ref.InlineMask = MaskPool[Ref.MaskBegin];
+  return Ref;
+}
+
 void BitvectorQueryModule::buildPatterns() {
-  Patterns.assign(MD.numOperations() * NumPhases, {});
+  Patterns.assign(static_cast<size_t>(MD.numOperations()) * NumPhases,
+                  PatternRef{});
+  MaskPool.clear();
+  PrefixPool.clear();
+  // One bucketed pass per (op, phase): usages accumulate into a
+  // word-indexed scratch array (no find_if over an output list), then the
+  // touched span is appended to the arena in word order.
+  std::vector<uint64_t> Scratch;
   for (OpId Op = 0; Op < MD.numOperations(); ++Op) {
     const ReservationTable &RT = MD.operation(Op).table();
     for (unsigned Phase = 0; Phase < NumPhases; ++Phase) {
-      // Accumulate masks per word; offsets stay sorted because usages are
-      // visited in per-word order after the bucketing below.
-      std::vector<WordMask> &Out = Patterns[Op * NumPhases + Phase];
-      for (const ResourceUsage &U : RT.usages()) {
-        // A negative usage cycle would produce a negative WordOffset here,
-        // and WordBase + WordOffset on a size_t base later wraps to a huge
-        // index that ensureWords() tries to allocate. Reject loudly;
-        // lintMachine() diagnoses such descriptions up front.
-        if (U.Cycle < 0)
-          fatalError("reservation table has a negative usage cycle; "
-                     "run lintMachine()/validate() on this description");
-        int Word;
-        unsigned Lane;
-        if (Config.Mode == QueryConfig::Modulo) {
-          // Phase is the issue slot within the MRT.
-          int Slot = (static_cast<int>(Phase) + U.Cycle) % Config.ModuloII;
-          Word = Slot / static_cast<int>(K);
-          Lane = static_cast<unsigned>(Slot) % K;
-        } else {
-          // Phase is the issue cycle's position within its word.
-          int Shifted = static_cast<int>(Phase) + U.Cycle;
-          Word = Shifted / static_cast<int>(K);
-          Lane = static_cast<unsigned>(Shifted) % K;
-        }
-        uint64_t Bit = 1ull
-                       << (Lane * static_cast<unsigned>(NumResources) +
-                           U.Resource);
-        auto It = std::find_if(Out.begin(), Out.end(), [&](const WordMask &W) {
-          return W.WordOffset == Word;
-        });
-        if (It == Out.end())
-          Out.push_back(WordMask{Word, Bit});
-        else
-          It->Mask |= Bit;
-      }
-      std::sort(Out.begin(), Out.end(),
-                [](const WordMask &A, const WordMask &B) {
-                  return A.WordOffset < B.WordOffset;
-                });
+      int MinWord = INT_MAX, MaxWord = INT_MIN;
+      bucketUsages(RT, Phase, Scratch, MinWord, MaxWord);
+      Patterns[static_cast<size_t>(Op) * NumPhases + Phase] =
+          emitPattern(Scratch, MinWord, MaxWord);
+    }
+  }
+
+  // Uniform-row mirror (see the member comment): linear mode only — modulo
+  // spans use absolute, wrapped word indices that the fixed-width kernels
+  // cannot pad safely. Machines whose spans never exceed two words skip the
+  // mirror entirely: their length branch is near-perfectly predicted
+  // already, and the row kernel's lane-extract overhead measured as a net
+  // loss there. Machines with spans wider than a row (fig1's widest) skip
+  // it too — a zero-padded row would under-report those spans.
+  UniformRows = false;
+  UniformPool.clear();
+  if (Config.Mode == QueryConfig::Linear) {
+    size_t MaxLen = 0;
+    for (const PatternRef &P : Patterns)
+      MaxLen = std::max<size_t>(MaxLen, P.DenseLen);
+    if (MaxLen >= 3 && MaxLen <= UniformWords) {
+      UniformRows = true;
+      UniformPool.assign(Patterns.size() * UniformWords, 0);
+      for (size_t I = 0; I < Patterns.size(); ++I)
+        for (size_t J = 0; J < Patterns[I].DenseLen; ++J)
+          UniformPool[I * UniformWords + J] =
+              MaskPool[Patterns[I].MaskBegin + J];
     }
   }
 }
 
-void BitvectorQueryModule::ensureWords(size_t WordCount) {
-  if (WordCount <= Words.size())
-    return;
+void BitvectorQueryModule::growWords(size_t WordCount) {
   size_t NewSize = Words.empty() ? WordCount : Words.size();
   while (NewSize < WordCount)
     NewSize *= 2;
   Words.resize(NewSize, 0);
   if (UpdateMode)
     Owner.resize(NewSize * K * NumResources, -1);
-}
-
-void BitvectorQueryModule::locate(int Cycle, size_t &WordBase,
-                                  unsigned &Phase) const {
-  if (Config.Mode == QueryConfig::Modulo) {
-    int Slot = Cycle % Config.ModuloII;
-    if (Slot < 0)
-      Slot += Config.ModuloII;
-    WordBase = 0; // modulo patterns use absolute word indices
-    Phase = static_cast<unsigned>(Slot);
-    return;
-  }
-  assert(Cycle >= Config.MinCycle && "cycle below the linear window");
-  size_t Rel = static_cast<size_t>(Cycle - Config.MinCycle);
-  WordBase = Rel / K;
-  Phase = static_cast<unsigned>(Rel % K);
 }
 
 size_t BitvectorQueryModule::cycleSlot(int AbsCycle) const {
@@ -126,120 +165,143 @@ size_t BitvectorQueryModule::cycleSlot(int AbsCycle) const {
 }
 
 void BitvectorQueryModule::setBit(size_t Slot, ResourceId R) {
-  size_t Word = Slot / K;
-  unsigned Lane = static_cast<unsigned>(Slot % K);
+  size_t Word = divK(Slot);
+  unsigned Lane = static_cast<unsigned>(Slot - Word * K);
   ensureWords(Word + 1);
   Words[Word] |= 1ull << (Lane * NumResources + R);
 }
 
 void BitvectorQueryModule::clearBit(size_t Slot, ResourceId R) {
-  size_t Word = Slot / K;
-  unsigned Lane = static_cast<unsigned>(Slot % K);
+  size_t Word = divK(Slot);
+  unsigned Lane = static_cast<unsigned>(Slot - Word * K);
   if (Word >= Words.size())
     return;
   Words[Word] &= ~(1ull << (Lane * NumResources + R));
 }
 
 bool BitvectorQueryModule::testBit(size_t Slot, ResourceId R) const {
-  size_t Word = Slot / K;
+  size_t Word = divK(Slot);
   if (Word >= Words.size())
     return false;
-  unsigned Lane = static_cast<unsigned>(Slot % K);
+  unsigned Lane = static_cast<unsigned>(Slot - Word * K);
   return (Words[Word] >> (Lane * NumResources + R)) & 1;
 }
 
-bool BitvectorQueryModule::check(OpId Op, int Cycle) {
-  ++Counters.CheckCalls;
-  if (Config.Mode == QueryConfig::Modulo && SelfConflict[Op]) {
-    ++Counters.CheckUnits;
-    return false;
+void BitvectorQueryModule::updateOwnersOnAssign(OpId Op, int Cycle,
+                                                InstanceId Instance) {
+  for (const ResourceUsage &U : MD.operation(Op).table().usages()) {
+    size_t Slot = cycleSlot(Cycle + U.Cycle);
+    Owner[cellIndex(Slot, U.Resource)] = Instance;
   }
-  size_t WordBase;
-  unsigned Phase;
-  locate(Cycle, WordBase, Phase);
-  for (const WordMask &W : pattern(Op, Phase)) {
-    ++Counters.CheckUnits;
-    size_t Index = WordBase + static_cast<size_t>(W.WordOffset);
-    if (Index < Words.size() && (Words[Index] & W.Mask))
-      return false; // abort on first conflicting word
-  }
-  return true;
-}
-
-void BitvectorQueryModule::assign(OpId Op, int Cycle, InstanceId Instance) {
-  ++Counters.AssignCalls;
-  assert((Config.Mode != QueryConfig::Modulo || !SelfConflict[Op]) &&
-         "assigning an operation that self-conflicts at this II");
-  size_t WordBase;
-  unsigned Phase;
-  locate(Cycle, WordBase, Phase);
-  for (const WordMask &W : pattern(Op, Phase)) {
-    ++Counters.AssignUnits;
-    size_t Index = WordBase + static_cast<size_t>(W.WordOffset);
-    ensureWords(Index + 1);
-    assert((Words[Index] & W.Mask) == 0 &&
-           "assign over reserved resources; use assignAndFree");
-    Words[Index] |= W.Mask;
-  }
-  // Owner fields are maintained only after a transition (update mode);
-  // keeping them current here is bookkeeping, not counted work.
-  if (UpdateMode) {
-    for (const ResourceUsage &U : MD.operation(Op).table().usages()) {
-      size_t Slot = cycleSlot(Cycle + U.Cycle);
-      Owner[cellIndex(Slot, U.Resource)] = Instance;
-    }
-  }
-  [[maybe_unused]] bool Inserted =
-      Instances.emplace(Instance, InstanceInfo{Op, Cycle}).second;
+  [[maybe_unused]] bool Inserted = Instances.insert(Instance, Op, Cycle);
   assert(Inserted && "instance id already scheduled");
 }
 
-void BitvectorQueryModule::free(OpId Op, int Cycle, InstanceId Instance) {
-  ++Counters.FreeCalls;
-  size_t WordBase;
-  unsigned Phase;
-  locate(Cycle, WordBase, Phase);
-  for (const WordMask &W : pattern(Op, Phase)) {
-    ++Counters.FreeUnits;
-    size_t Index = WordBase + static_cast<size_t>(W.WordOffset);
-    if (Index < Words.size())
-      Words[Index] &= ~W.Mask;
+void BitvectorQueryModule::updateOwnersOnFree(OpId Op, int Cycle,
+                                              InstanceId Instance) {
+  for (const ResourceUsage &U : MD.operation(Op).table().usages()) {
+    size_t Slot = cycleSlot(Cycle + U.Cycle);
+    Owner[cellIndex(Slot, U.Resource)] = -1;
   }
-  if (UpdateMode) {
-    for (const ResourceUsage &U : MD.operation(Op).table().usages()) {
-      size_t Slot = cycleSlot(Cycle + U.Cycle);
-      Owner[cellIndex(Slot, U.Resource)] = -1;
+  [[maybe_unused]] bool Erased = Instances.erase(Instance);
+  assert(Erased && "freeing an unscheduled instance");
+}
+
+void BitvectorQueryModule::flushLog() {
+  if (Log.empty())
+    return;
+
+  int64_t MinId = Log.front().Id, MaxId = MinId;
+  for (const LogEntry &E : Log) {
+    MinId = std::min<int64_t>(MinId, E.Id);
+    MaxId = std::max<int64_t>(MaxId, E.Id);
+  }
+  uint64_t Range = static_cast<uint64_t>(MaxId - MinId) + 1;
+
+  if (Range > 4 * Log.size() + 64) {
+    // Sparse ids: replay entry by entry through the hash table.
+    for (const LogEntry &E : Log) {
+      if (!(E.Op & LogFreeBit)) {
+        [[maybe_unused]] bool Inserted = Instances.insert(E.Id, E.Op, E.Cycle);
+        assert(Inserted && "instance id already scheduled");
+      } else {
+        [[maybe_unused]] bool Erased = Instances.erase(E.Id);
+        assert(Erased && "freeing an unscheduled instance");
+      }
+    }
+    Log.clear();
+    return;
+  }
+
+  // Dense ids: state bits per id — bit 0 = net-live from this log, bit 1 =
+  // net-freed from the table (the id predates this log). Paired assign/free
+  // entries cancel here and never touch the hash table.
+  if (FlushState.size() < Range) {
+    FlushState.assign(Range, 0);
+    FlushLast.resize(Range);
+  } else {
+    std::fill_n(FlushState.begin(), Range, uint8_t(0));
+  }
+  for (size_t I = 0; I < Log.size(); ++I) {
+    size_t S = static_cast<size_t>(Log[I].Id - MinId);
+    uint8_t &F = FlushState[S];
+    if (Log[I].Op & LogFreeBit) {
+      if (F & 1) {
+        F &= static_cast<uint8_t>(~1u);
+      } else {
+        assert(!(F & 2) && "freeing an unscheduled instance");
+        F |= 2;
+      }
+    } else {
+      assert(!(F & 1) && "instance id already scheduled");
+      F |= 1;
+      FlushLast[S] = static_cast<uint32_t>(I);
     }
   }
-  [[maybe_unused]] size_t Erased = Instances.erase(Instance);
-  assert(Erased == 1 && "freeing an unscheduled instance");
+  for (uint64_t S = 0; S < Range; ++S) {
+    uint8_t F = FlushState[S];
+    if (!F)
+      continue;
+    InstanceId Id = static_cast<InstanceId>(MinId + static_cast<int64_t>(S));
+    if (F & 2) {
+      [[maybe_unused]] bool Erased = Instances.erase(Id);
+      assert(Erased && "freeing an unscheduled instance");
+    }
+    if (F & 1) {
+      const LogEntry &E = Log[FlushLast[S]];
+      [[maybe_unused]] bool Inserted = Instances.insert(E.Id, E.Op, E.Cycle);
+      assert(Inserted && "instance id already scheduled");
+    }
+  }
+  Log.clear();
 }
 
 void BitvectorQueryModule::transitionToUpdateMode() {
+  flushLog();
   UpdateMode = true;
   Owner.assign(Words.size() * K * NumResources, -1);
   // Scan the entire list of scheduled operations to reconstruct the owner
   // fields (the paper's transition overhead).
-  for (const auto &[Instance, Info] : Instances) {
-    for (const ResourceUsage &U : MD.operation(Info.Op).table().usages()) {
+  Instances.forEach([&](const InstanceTable::Entry &E) {
+    for (const ResourceUsage &U : MD.operation(E.Op).table().usages()) {
       ++Counters.TransitionUnits;
       ++Counters.AssignFreeUnits;
-      size_t Slot = cycleSlot(Info.Cycle + U.Cycle);
-      Owner[cellIndex(Slot, U.Resource)] = Instance;
+      size_t Slot = cycleSlot(E.Cycle + U.Cycle);
+      Owner[cellIndex(Slot, U.Resource)] = E.Id;
     }
-  }
+  });
 }
 
 void BitvectorQueryModule::evict(InstanceId Instance) {
-  auto It = Instances.find(Instance);
-  assert(It != Instances.end() && "evicting an unknown instance");
-  for (const ResourceUsage &U : MD.operation(It->second.Op).table().usages()) {
+  const InstanceTable::Entry *E = Instances.find(Instance);
+  assert(E && "evicting an unknown instance");
+  for (const ResourceUsage &U : MD.operation(E->Op).table().usages()) {
     ++Counters.AssignFreeUnits;
-    size_t Slot = cycleSlot(It->second.Cycle + U.Cycle);
+    size_t Slot = cycleSlot(E->Cycle + U.Cycle);
     clearBit(Slot, U.Resource);
     Owner[cellIndex(Slot, U.Resource)] = -1;
   }
-  Instances.erase(It);
+  Instances.erase(Instance);
 }
 
 void BitvectorQueryModule::assignAndFree(OpId Op, int Cycle,
@@ -256,24 +318,14 @@ void BitvectorQueryModule::assignAndFree(OpId Op, int Cycle,
     size_t WordBase;
     unsigned Phase;
     locate(Cycle, WordBase, Phase);
-    bool Conflict = false;
-    for (const WordMask &W : pattern(Op, Phase)) {
-      ++Counters.AssignFreeUnits;
-      size_t Index = WordBase + static_cast<size_t>(W.WordOffset);
-      if (Index < Words.size() && (Words[Index] & W.Mask)) {
-        Conflict = true;
-        break;
-      }
-    }
-    if (!Conflict) {
-      for (const WordMask &W : pattern(Op, Phase)) {
-        size_t Index = WordBase + static_cast<size_t>(W.WordOffset);
-        ensureWords(Index + 1);
-        Words[Index] |= W.Mask;
-      }
-      [[maybe_unused]] bool Inserted =
-          Instances.emplace(Instance, InstanceInfo{Op, Cycle}).second;
-      assert(Inserted && "instance id already scheduled");
+    const PatternRef &P = pattern(Op, Phase);
+    if (!scanConflict(P, WordBase, Counters.AssignFreeUnits)) {
+      size_t Base = WordBase + static_cast<size_t>(P.FirstWord);
+      ensureWords(Base + P.DenseLen);
+      simd::orInto(Words.data() + Base, MaskPool.data() + P.MaskBegin,
+                   P.DenseLen);
+      Log.push_back({Instance, Op, Cycle});
+      ++LiveCount;
       return;
     }
     transitionToUpdateMode();
@@ -297,39 +349,45 @@ void BitvectorQueryModule::assignAndFree(OpId Op, int Cycle,
       Owner.resize(Words.size() * K * NumResources, -1);
     Owner[cellIndex(Slot, U.Resource)] = Instance;
   }
-  [[maybe_unused]] bool Inserted =
-      Instances.emplace(Instance, InstanceInfo{Op, Cycle}).second;
+  [[maybe_unused]] bool Inserted = Instances.insert(Instance, Op, Cycle);
   assert(Inserted && "instance id already scheduled");
 }
 
-const std::vector<std::vector<BitvectorQueryModule::WordMask>> &
-BitvectorQueryModule::unionPatternsFor(
-    const std::vector<OpId> &Alternatives) {
-  auto It = UnionPatterns.find(Alternatives);
-  if (It != UnionPatterns.end())
-    return It->second;
+const BitvectorQueryModule::PatternRef *
+BitvectorQueryModule::unionPatternsFor(const std::vector<OpId> &Alternatives) {
+  auto It = UnionIndex.find(Alternatives);
+  if (It != UnionIndex.end())
+    return &UnionRefs[It->second];
 
-  std::vector<std::vector<WordMask>> PerPhase(NumPhases);
+  // Merge the member spans per phase: OR the dense masks into a
+  // word-indexed scratch (the members are dense spans already, so this is
+  // pure word arithmetic — the usages are never re-walked), then append
+  // the union span to the shared arena.
+  uint32_t Base = static_cast<uint32_t>(UnionRefs.size());
+  std::vector<uint64_t> Scratch;
   for (unsigned Phase = 0; Phase < NumPhases; ++Phase) {
-    std::vector<WordMask> &Out = PerPhase[Phase];
-    for (OpId Op : Alternatives)
-      for (const WordMask &W : pattern(Op, Phase)) {
-        auto Pos =
-            std::find_if(Out.begin(), Out.end(), [&](const WordMask &M) {
-              return M.WordOffset == W.WordOffset;
-            });
-        if (Pos == Out.end())
-          Out.push_back(W);
-        else
-          Pos->Mask |= W.Mask;
+    int MinWord = INT_MAX, MaxWord = INT_MIN;
+    for (OpId Op : Alternatives) {
+      const PatternRef &P = pattern(Op, Phase);
+      if (!P.DenseLen)
+        continue;
+      MinWord = std::min(MinWord, P.FirstWord);
+      MaxWord = std::max(MaxWord, P.FirstWord + P.DenseLen - 1);
+    }
+    if (MaxWord >= MinWord) {
+      if (Scratch.size() < static_cast<size_t>(MaxWord) + 1)
+        Scratch.resize(static_cast<size_t>(MaxWord) + 1, 0);
+      for (OpId Op : Alternatives) {
+        const PatternRef &P = pattern(Op, Phase);
+        for (unsigned I = 0; I < P.DenseLen; ++I)
+          Scratch[static_cast<size_t>(P.FirstWord) + I] |=
+              MaskPool[P.MaskBegin + I];
       }
-    std::sort(Out.begin(), Out.end(),
-              [](const WordMask &A, const WordMask &B) {
-                return A.WordOffset < B.WordOffset;
-              });
+    }
+    UnionRefs.push_back(emitPattern(Scratch, MinWord, MaxWord));
   }
-  return UnionPatterns.emplace(Alternatives, std::move(PerPhase))
-      .first->second;
+  UnionIndex.emplace(Alternatives, Base);
+  return &UnionRefs[Base];
 }
 
 int BitvectorQueryModule::checkWithAlternatives(
@@ -345,26 +403,18 @@ int BitvectorQueryModule::checkWithAlternatives(
                                                             Cycle);
   }
 
-  // Union fast path: one pass over the OR of all alternatives' words. A
-  // clean union means every alternative fits; return the first. The union
-  // pass is billed as exactly one check call, and only when it succeeds:
-  // on conflict the fallback below accounts each per-alternative attempt
-  // itself, so billing the union call too would charge 1+N calls for one
-  // answered query and skew Table 6. The words scanned are real work
-  // either way and always land in CheckUnits.
+  // Union fast path: one branchless masked-AND scan over the OR of all
+  // alternatives' words. A clean union means every alternative fits;
+  // return the first. The union pass is billed as exactly one check call,
+  // and only when it succeeds: on conflict the fallback below accounts
+  // each per-alternative attempt itself, so billing the union call too
+  // would charge 1+N calls for one answered query and skew Table 6. The
+  // words scanned are real work either way and always land in CheckUnits.
   size_t WordBase;
   unsigned Phase;
   locate(Cycle, WordBase, Phase);
-  bool Conflict = false;
-  for (const WordMask &W : unionPatternsFor(Alternatives)[Phase]) {
-    ++Counters.CheckUnits;
-    size_t Index = WordBase + static_cast<size_t>(W.WordOffset);
-    if (Index < Words.size() && (Words[Index] & W.Mask)) {
-      Conflict = true;
-      break;
-    }
-  }
-  if (!Conflict) {
+  const PatternRef *Union = unionPatternsFor(Alternatives);
+  if (!scanConflict(Union[Phase], WordBase, Counters.CheckUnits)) {
     ++Counters.CheckCalls;
     return 0;
   }
@@ -377,6 +427,8 @@ void BitvectorQueryModule::reset() {
   std::fill(Words.begin(), Words.end(), 0);
   Owner.clear();
   UpdateMode = false;
+  Log.clear();
+  LiveCount = 0;
   Instances.clear();
   retireCounters();
 }

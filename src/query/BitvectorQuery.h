@@ -9,6 +9,19 @@
 /// consecutive cycles are detected by one word operation, so one *work
 /// unit* is one word handled.
 ///
+/// Data layout: every (op, phase) pattern lives in one immutable,
+/// cache-aligned arena as a *dense span* — DenseLen consecutive mask words
+/// covering schedule words [FirstWord, FirstWord + DenseLen), interior
+/// words with no usage holding a zero mask. The hot loops are therefore
+/// straight-line masked-AND reductions over two contiguous arrays
+/// (reserved-table words and arena masks), vectorized via query/SimdOps.h.
+/// Work accounting is unchanged from the word-at-a-time formulation: a
+/// parallel prefix-count array recovers "nonempty words scanned up to the
+/// first conflict" exactly, and zero-mask filler words are never billed.
+/// Union patterns (check-with-alternatives fast path) are cached in the
+/// same arena. Modulo wrap-around is folded into the patterns at build
+/// time, so no per-word wrap handling survives in the query loops.
+///
 /// assign&free uses the paper's optimistic strategy: while no conflict has
 /// been seen, no per-resource owner fields are maintained and all functions
 /// run word-at-a-time (optimistic mode). The first conflicting placement
@@ -21,19 +34,33 @@
 #ifndef RMD_QUERY_BITVECTORQUERY_H
 #define RMD_QUERY_BITVECTORQUERY_H
 
+#include "query/InstanceTable.h"
 #include "query/QueryModule.h"
+#include "query/SimdOps.h"
 
+#include <algorithm>
+#include <cassert>
 #include <unordered_map>
 
 namespace rmd {
 
-/// Bitvector-representation contention query module.
-class BitvectorQueryModule : public ContentionQueryModule {
+/// Bitvector-representation contention query module. Final so direct calls
+/// through a concrete object (the bench harnesses, ShadowQueryModule's
+/// inner pair) devirtualize.
+class BitvectorQueryModule final : public ContentionQueryModule {
 public:
   /// \p MD must be expanded with numResources() <= Config.WordBits. The
   /// module keeps a reference to \p MD; it must outlive the module.
   BitvectorQueryModule(const MachineDescription &MD, QueryConfig Config);
 
+  // check/assign/free are defined inline below the class (with
+  // always_inline: GCC otherwise leaves the bodies out of line even at
+  // devirtualized call sites). The bench harnesses and the scheduler's
+  // inner loop call them on a concrete module millions of times; inlining
+  // lets those loops keep the module's pools and config in registers
+  // instead of re-loading ~10 members through `this` per query. Virtual
+  // dispatch through a base pointer still works: the vtable references the
+  // out-of-line copy.
   bool check(OpId Op, int Cycle) override;
   void assign(OpId Op, int Cycle, InstanceId Instance) override;
   void free(OpId Op, int Cycle, InstanceId Instance) override;
@@ -64,26 +91,122 @@ public:
   /// excludes owner fields, which exist only after a transition).
   size_t reservedTableBytes() const { return Words.size() * sizeof(uint64_t); }
 
+  /// Bytes of the packed pattern arena (masks, prefix counts, and span
+  /// table — per-op patterns plus any cached union patterns).
+  size_t patternArenaBytes() const {
+    return (MaskPool.size() + UniformPool.size()) * sizeof(uint64_t) +
+           PrefixPool.size() * sizeof(uint16_t) +
+           (Patterns.size() + UnionRefs.size()) * sizeof(PatternRef);
+  }
+
 private:
-  /// One nonempty word of a pre-shifted reservation table: the word offset
-  /// (relative to the issue cycle's word in linear mode, absolute in modulo
-  /// mode) and the resource-usage mask within it.
-  struct WordMask {
-    int WordOffset;
-    uint64_t Mask;
+  /// One (op, phase) pattern: a dense span of DenseLen mask words in the
+  /// arena at MaskBegin, covering reserved-table words [FirstWord,
+  /// FirstWord + DenseLen) relative to the issue cycle's word in linear
+  /// mode (absolute in modulo mode). Nonempty counts the words with a
+  /// non-zero mask — the paper's work units for a full scan.
+  struct PatternRef {
+    /// For DenseLen == 1 — the dominant span class on small machines — the
+    /// single mask word is duplicated here, saving the dependent
+    /// MaskPool.data() -> mask load pair that would otherwise sit at the
+    /// bottom of every query's address chain.
+    uint64_t InlineMask = 0;
+    uint32_t MaskBegin = 0;
+    int32_t FirstWord = 0;
+    uint16_t DenseLen = 0;
+    uint16_t Nonempty = 0;
   };
 
-  /// The pattern (word list) of \p Op when issued with cycle alignment
-  /// \p Phase (linear: issue cycle mod k; modulo: issue slot).
-  const std::vector<WordMask> &pattern(OpId Op, unsigned Phase) const {
-    return Patterns[Op * NumPhases + Phase];
+  const PatternRef &pattern(OpId Op, unsigned Phase) const {
+    return Patterns[static_cast<size_t>(Op) * NumPhases + Phase];
   }
 
   void buildPatterns();
-  void ensureWords(size_t WordCount);
+
+  /// Accumulates one reservation table into \p Scratch (word-indexed masks)
+  /// for issue alignment \p Phase; extends [MinWord, MaxWord]. The modulo
+  /// wrap is applied here, at build time.
+  void bucketUsages(const ReservationTable &RT, unsigned Phase,
+                    std::vector<uint64_t> &Scratch, int &MinWord,
+                    int &MaxWord) const;
+
+  /// Appends \p Scratch's span [MinWord, MaxWord] to the arena and returns
+  /// its PatternRef; resets the touched Scratch words to zero.
+  PatternRef emitPattern(std::vector<uint64_t> &Scratch, int MinWord,
+                         int MaxWord);
+
+  void ensureWords(size_t WordCount) {
+    if (WordCount > Words.size())
+      growWords(WordCount);
+  }
+  void growWords(size_t WordCount);
 
   /// Splits a schedule cycle into (word base, phase).
-  void locate(int Cycle, size_t &WordBase, unsigned &Phase) const;
+  void locate(int Cycle, size_t &WordBase, unsigned &Phase) const {
+    if (Config.Mode == QueryConfig::Modulo) {
+      int Slot = Cycle % Config.ModuloII;
+      if (Slot < 0)
+        Slot += Config.ModuloII;
+      WordBase = 0; // modulo patterns use absolute word indices
+      Phase = static_cast<unsigned>(Slot);
+      return;
+    }
+    assert(Cycle >= Config.MinCycle && "cycle below the linear window");
+    size_t Rel = static_cast<size_t>(Cycle - Config.MinCycle);
+    WordBase = divK(Rel);
+    Phase = static_cast<unsigned>(Rel - WordBase * K);
+  }
+
+  /// Scans \p P's in-range dense words against the reserved table,
+  /// billing \p Units exactly as the abort-on-first-conflict word loop
+  /// did (out-of-range and zero-mask words conflict with nothing; scanned
+  /// nonempty words are billed whether or not they conflict). Returns true
+  /// on contention.
+  bool scanConflict(const PatternRef &P, size_t WordBase, uint64_t &Units) {
+    // Words past the allocated table are empty and cannot conflict, but the
+    // word-at-a-time loop still billed them; splitting the range keeps the
+    // scan straight-line and the accounting identical.
+    size_t Base = WordBase + static_cast<size_t>(P.FirstWord);
+    if (P.DenseLen == 1) {
+      // Single-word spans are branchless: the one word is nonempty by
+      // construction, so the bill is one unit whether it conflicts or not
+      // (PrefixPool[MaskBegin] == Nonempty == 1), and the mask comes from
+      // the ref itself instead of the arena.
+      Units += 1;
+      return Base < Words.size() && (Words[Base] & P.InlineMask) != 0;
+    }
+    size_t InRange = 0;
+    if (P.DenseLen && Base < Words.size())
+      InRange = std::min<size_t>(P.DenseLen, Words.size() - Base);
+    if (InRange) {
+      // restrict: the reserved table and the immutable arena never alias,
+      // and nothing else (counters, refs) is reached through these two
+      // pointers — so the compiler may keep counters in registers across
+      // the word ops.
+      const uint64_t *__restrict W = Words.data() + Base;
+      const uint64_t *__restrict M = MaskPool.data() + P.MaskBegin;
+      ptrdiff_t Conflict = simd::firstConflict(W, M, InRange);
+      if (Conflict >= 0) {
+        // Bill the nonempty words scanned up to and including the conflict
+        // (zero-mask filler words never conflict and are never billed).
+        Units += PrefixPool[P.MaskBegin + static_cast<size_t>(Conflict)];
+        return true;
+      }
+    }
+    Units += P.Nonempty;
+    return false;
+  }
+
+  /// Owner-field and instance-table maintenance for assign/free after the
+  /// transition (update mode only — cold relative to the optimistic word
+  /// loops).
+  void updateOwnersOnAssign(OpId Op, int Cycle, InstanceId Instance);
+  void updateOwnersOnFree(OpId Op, int Cycle, InstanceId Instance);
+
+  /// Applies the pending instance log to the table (validating each entry)
+  /// and clears it. Cold: runs at the update transition and when the log
+  /// outgrows the live set.
+  void flushLog();
 
   /// Cell-granular helpers for update mode. A cell is one (cycle slot,
   /// resource) entry; AbsCycle is issue cycle + usage cycle.
@@ -109,17 +232,83 @@ private:
   unsigned K;
   unsigned NumPhases;
 
-  std::vector<std::vector<WordMask>> Patterns;
-  std::vector<uint64_t> Words;
+  /// Reciprocal for the cycle→word split: ceil(2^38 / K). locate() and the
+  /// cell helpers run on every query, and a runtime integer division by K
+  /// costs ~20 cycles on its own — a multiply-shift is exact for any
+  /// dividend below 2^32 (K <= 64, so the error term n*r/(K*2^38) with
+  /// r < K stays under 1/K for all n < 2^38/64), and the hot paths never
+  /// exceed 2^24 cycles anyway.
+  uint64_t KReciprocal = 0;
+  static constexpr unsigned KReciprocalShift = 38;
+
+  size_t divK(size_t N) const {
+    if (N < (size_t(1) << 24))
+      return (N * KReciprocal) >> KReciprocalShift;
+    return N / K; // cold: cycle windows this deep never hit a bench
+  }
+
+  /// The immutable packed pattern arena. MaskPool and PrefixPool are
+  /// parallel: PrefixPool[i] is the number of nonempty masks in the span
+  /// prefix ending at (and including) i. Union patterns append to the same
+  /// pools after construction; per-op spans never move.
+  std::vector<PatternRef> Patterns; // Op * NumPhases + Phase
+  simd::WordVector MaskPool;
+  std::vector<uint16_t> PrefixPool;
+
+  /// Uniform-row mirror of the per-op arena (linear mode, machines with
+  /// spans of three words or more): every (op, phase) pattern gets a row of
+  /// UniformWords mask words starting at its FirstWord, zero-padded past
+  /// DenseLen. The hot paths then run a fixed-width branchless kernel —
+  /// mixed span-length traffic was paying a near-certain length-class
+  /// mispredict per query (measured +1.5-3 ns on machines whose op mix
+  /// straddles the one-word boundary). A row is 64 bytes, so in the
+  /// cache-aligned pool every row occupies exactly one line; spans of up to
+  /// UniformNarrow words use the half-row kernel and touch only the line's
+  /// first half. Zero padding conflicts with nothing, and billing still
+  /// comes from Nonempty/PrefixPool, so Table 6 accounting is unchanged.
+  /// Machines with a span wider than a row (fig1) and two-word-max
+  /// machines (where the old branch predicts fine and the row kernel's
+  /// lane-extract overhead measured as a net loss) keep the
+  /// variable-length path; UniformRows is never set for them.
+  static constexpr size_t UniformWords = 8;
+  static constexpr size_t UniformNarrow = 4;
+  bool UniformRows = false;
+  simd::WordVector UniformPool; // Patterns.size() * UniformWords
+
+  /// The reserved table: a flat span of packed words (linear mode grows it
+  /// on demand; modulo mode sizes it to the II up front), cache-aligned so
+  /// vector loads never split a line.
+  simd::WordVector Words;
 
   bool UpdateMode = false;
   std::vector<InstanceId> Owner; // cellIndex -> instance (update mode only)
 
-  struct InstanceInfo {
+  /// Scheduled-instance bookkeeping. The hot optimistic paths only ever
+  /// *record* assigns and frees — nothing reads the live set until the
+  /// update transition — so they append to a log (two stores) instead of
+  /// paying a hash insert/erase per call. The log replays into the table
+  /// on flush, where the paired asserts validate the same invariants the
+  /// eager updates did (an id is scheduled at most once and freed only
+  /// while live). Frees are tagged in the op field's high bit (OpId is
+  /// unsigned and op counts stay far below 2^31).
+  struct LogEntry {
+    InstanceId Id;
     OpId Op;
-    int Cycle;
+    int32_t Cycle;
   };
-  std::unordered_map<InstanceId, InstanceInfo> Instances;
+  static constexpr OpId LogFreeBit = OpId(1) << 31;
+  std::vector<LogEntry> Log;
+  size_t LiveCount = 0;
+  InstanceTable Instances;
+
+  /// Flush scratch (kept allocated between flushes). Schedulers hand out
+  /// near-sequential instance ids, so a flush usually covers a dense id
+  /// range: a direct-indexed state pass then cancels each assign/free pair
+  /// with two array touches instead of a hash insert plus a backward-shift
+  /// erase, and only net changes reach the table. FlushLast is valid only
+  /// where the corresponding FlushState live bit was set this flush.
+  std::vector<uint8_t> FlushState;
+  std::vector<uint32_t> FlushLast;
 
   std::vector<uint8_t> SelfConflict; // modulo mode only
 
@@ -138,15 +327,156 @@ private:
     }
   };
 
-  /// Cached union patterns per alternative group (keyed by the group's op
-  /// list), one word list per phase.
-  std::unordered_map<std::vector<OpId>, std::vector<std::vector<WordMask>>,
-                     OpListHash>
-      UnionPatterns;
+  /// Cached union patterns per alternative group: the map yields an index
+  /// into UnionRefs, which holds NumPhases consecutive spans whose masks
+  /// live in the shared arena.
+  std::unordered_map<std::vector<OpId>, uint32_t, OpListHash> UnionIndex;
+  std::vector<PatternRef> UnionRefs;
 
-  const std::vector<std::vector<WordMask>> &
-  unionPatternsFor(const std::vector<OpId> &Alternatives);
+  /// The group's per-phase union spans (NumPhases entries), built and
+  /// cached in the arena on first use.
+  const PatternRef *unionPatternsFor(const std::vector<OpId> &Alternatives);
 };
+
+__attribute__((always_inline)) inline bool
+BitvectorQueryModule::check(OpId Op, int Cycle) {
+  ++Counters.CheckCalls;
+  if (Config.Mode == QueryConfig::Modulo && SelfConflict[Op]) {
+    // A self-conflicting table can never be placed at this II; detecting
+    // that is one unit of work, not zero (Table 6 counts the query).
+    ++Counters.CheckUnits;
+    return false;
+  }
+  size_t WordBase;
+  unsigned Phase;
+  locate(Cycle, WordBase, Phase);
+  size_t Idx = static_cast<size_t>(Op) * NumPhases + Phase;
+  const PatternRef &P = Patterns[Idx];
+  size_t Base = WordBase + static_cast<size_t>(P.FirstWord);
+  if (UniformRows && Base + UniformWords <= Words.size()) {
+    // Fixed-width row: when rows are on, every span fits one (the builder
+    // checked MaxLen), so there is no span-length class to predict — only
+    // a cheap half-row/full-row width pick. A row is in play only when it
+    // sits fully inside the table, so no clamping either; beyond-the-end
+    // probes fall through to the general scan.
+    const uint64_t *__restrict W = Words.data() + Base;
+    const uint64_t *__restrict M = UniformPool.data() + Idx * UniformWords;
+    uint64_t Hot = P.DenseLen <= UniformNarrow
+                       ? simd::rowHot(W, M, UniformNarrow)
+                       : simd::rowHot(W, M, UniformWords);
+    if (!Hot) {
+      Counters.CheckUnits += P.Nonempty;
+      return true;
+    }
+    // Conflict: recover the first conflicting word for the
+    // abort-on-first-conflict bill. Padded words are zero and can't be it.
+    size_t I = 0;
+    while (!(W[I] & M[I]))
+      ++I;
+    Counters.CheckUnits += PrefixPool[P.MaskBegin + I];
+    return false;
+  }
+  return !scanConflict(P, WordBase, Counters.CheckUnits);
+}
+
+__attribute__((always_inline)) inline void
+BitvectorQueryModule::assign(OpId Op, int Cycle, InstanceId Instance) {
+  ++Counters.AssignCalls;
+  assert((Config.Mode != QueryConfig::Modulo || !SelfConflict[Op]) &&
+         "assigning an operation that self-conflicts at this II");
+  size_t WordBase;
+  unsigned Phase;
+  locate(Cycle, WordBase, Phase);
+  size_t Idx = static_cast<size_t>(Op) * NumPhases + Phase;
+  const PatternRef &P = Patterns[Idx];
+  size_t Base = WordBase + static_cast<size_t>(P.FirstWord);
+  if (UniformRows) {
+    // Fixed-width row (see check); growing to the padded width keeps the
+    // whole row addressable for the later check/free fast paths. The
+    // precondition check (caller must have seen check() succeed) rides the
+    // reserve kernel itself: rowOrCheck accumulates the pre-update overlaps
+    // while storing, so the assert costs no second scan.
+    ensureWords(Base + UniformWords);
+    uint64_t *__restrict W = Words.data() + Base;
+    const uint64_t *__restrict M = UniformPool.data() + Idx * UniformWords;
+    [[maybe_unused]] uint64_t Clash =
+        P.DenseLen <= UniformNarrow
+            ? simd::rowOrCheck(W, M, UniformNarrow)
+            : simd::rowOrCheck(W, M, UniformWords);
+    assert(!Clash && "assign over reserved resources; use assignAndFree");
+  } else if (P.DenseLen == 1) {
+    // Single-word fast path: the mask rides in the ref (see PatternRef).
+    ensureWords(Base + 1);
+    uint64_t *__restrict W = Words.data() + Base;
+    [[maybe_unused]] uint64_t Clash = *W & P.InlineMask;
+    *W |= P.InlineMask;
+    assert(!Clash && "assign over reserved resources; use assignAndFree");
+  } else {
+    ensureWords(Base + P.DenseLen);
+    // As above, but over the packed variable-length span. restrict: see
+    // scanConflict.
+    uint64_t *__restrict W = Words.data() + Base;
+    const uint64_t *__restrict M = MaskPool.data() + P.MaskBegin;
+    [[maybe_unused]] uint64_t Clash = simd::orIntoCheck(W, M, P.DenseLen);
+    assert(!Clash && "assign over reserved resources; use assignAndFree");
+  }
+  Counters.AssignUnits += P.Nonempty;
+  if (!UpdateMode) {
+    Log.push_back({Instance, Op, Cycle});
+    ++LiveCount;
+  } else {
+    // Owner fields are maintained only after a transition (update mode);
+    // keeping them current is bookkeeping, not counted work.
+    updateOwnersOnAssign(Op, Cycle, Instance);
+  }
+}
+
+__attribute__((always_inline)) inline void
+BitvectorQueryModule::free(OpId Op, int Cycle, InstanceId Instance) {
+  ++Counters.FreeCalls;
+  size_t WordBase;
+  unsigned Phase;
+  locate(Cycle, WordBase, Phase);
+  size_t Idx = static_cast<size_t>(Op) * NumPhases + Phase;
+  const PatternRef &P = Patterns[Idx];
+  size_t Base = WordBase + static_cast<size_t>(P.FirstWord);
+  if (UniformRows && Base + UniformWords <= Words.size()) {
+    // Fixed-width row (see check); the matching assign grew the table to
+    // the padded width, so a live reservation's row is always in bounds.
+    uint64_t *__restrict W = Words.data() + Base;
+    const uint64_t *__restrict M = UniformPool.data() + Idx * UniformWords;
+    if (P.DenseLen <= UniformNarrow)
+      simd::rowAndNot(W, M, UniformNarrow);
+    else
+      simd::rowAndNot(W, M, UniformWords);
+  } else if (P.DenseLen == 1) {
+    if (Base < Words.size())
+      Words[Base] &= ~P.InlineMask;
+  } else {
+    size_t InRange = 0;
+    if (P.DenseLen && Base < Words.size())
+      InRange = std::min<size_t>(P.DenseLen, Words.size() - Base);
+    if (InRange) {
+      uint64_t *__restrict W = Words.data() + Base;
+      const uint64_t *__restrict M = MaskPool.data() + P.MaskBegin;
+      simd::andNotInto(W, M, InRange);
+    }
+  }
+  Counters.FreeUnits += P.Nonempty;
+  if (!UpdateMode) {
+    assert(LiveCount != 0 && "freeing with no live instances");
+    Log.push_back({Instance, Op | LogFreeBit, Cycle});
+    --LiveCount;
+    // Frees leave dead pairs in the log; fold them into the table once they
+    // dominate, so log memory stays bounded by the live set (plus a floor
+    // high enough that short scheduling sessions never flush mid-flight —
+    // a flush inside a hot loop costs more than the 1 MiB floor it saves).
+    if (Log.size() >= 65536 && Log.size() > 4 * LiveCount)
+      flushLog();
+  } else {
+    updateOwnersOnFree(Op, Cycle, Instance);
+  }
+}
 
 } // namespace rmd
 

@@ -1,0 +1,324 @@
+//===- query/SimdOps.cpp - Vectorized word-mask kernels -------------------===//
+//
+// Kernel bodies for the three dispatched primitives, one per tier, plus the
+// once-only tier resolution. The vector kernels use GCC/Clang generic
+// vector extensions; the AVX2 variants carry a per-function target
+// attribute so the rest of the build needs no architecture flags, and the
+// unaligned loads go through memcpy (the compiler lowers them to movdqu /
+// vmovdqu — reserved-table offsets are word-, not vector-, aligned).
+//
+//===----------------------------------------------------------------------===//
+
+#include "query/SimdOps.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace rmd;
+using namespace rmd::simd;
+
+#if !defined(RMD_FORCE_SCALAR) && (defined(__x86_64__) || defined(_M_X64)) &&  \
+    (defined(__GNUC__) || defined(__clang__))
+#define RMD_SIMD_X86 1
+#else
+#define RMD_SIMD_X86 0
+#endif
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Scalar tier (the reference semantics)
+//===----------------------------------------------------------------------===//
+
+ptrdiff_t firstConflictScalar(const uint64_t *W, const uint64_t *M, size_t N) {
+  for (size_t I = 0; I < N; ++I)
+    if (W[I] & M[I])
+      return static_cast<ptrdiff_t>(I);
+  return -1;
+}
+
+void orIntoScalar(uint64_t *W, const uint64_t *M, size_t N) {
+  for (size_t I = 0; I < N; ++I)
+    W[I] |= M[I];
+}
+
+uint64_t orIntoCheckScalar(uint64_t *W, const uint64_t *M, size_t N) {
+  uint64_t Clash = 0;
+  for (size_t I = 0; I < N; ++I) {
+    Clash |= W[I] & M[I];
+    W[I] |= M[I];
+  }
+  return Clash;
+}
+
+void andNotIntoScalar(uint64_t *W, const uint64_t *M, size_t N) {
+  for (size_t I = 0; I < N; ++I)
+    W[I] &= ~M[I];
+}
+
+#if RMD_SIMD_X86
+
+//===----------------------------------------------------------------------===//
+// SSE2 tier (128-bit; baseline on x86-64, no runtime probe needed)
+//===----------------------------------------------------------------------===//
+
+using V2 = uint64_t __attribute__((vector_size(16)));
+
+ptrdiff_t firstConflictSse2(const uint64_t *W, const uint64_t *M, size_t N) {
+  size_t I = 0;
+  for (; I + 2 <= N; I += 2) {
+    V2 A, B;
+    std::memcpy(&A, W + I, sizeof(V2));
+    std::memcpy(&B, M + I, sizeof(V2));
+    V2 C = A & B;
+    if (C[0] | C[1])
+      return static_cast<ptrdiff_t>(C[0] ? I : I + 1);
+  }
+  if (I < N && (W[I] & M[I]))
+    return static_cast<ptrdiff_t>(I);
+  return -1;
+}
+
+void orIntoSse2(uint64_t *W, const uint64_t *M, size_t N) {
+  size_t I = 0;
+  for (; I + 2 <= N; I += 2) {
+    V2 A, B;
+    std::memcpy(&A, W + I, sizeof(V2));
+    std::memcpy(&B, M + I, sizeof(V2));
+    A |= B;
+    std::memcpy(W + I, &A, sizeof(V2));
+  }
+  if (I < N)
+    W[I] |= M[I];
+}
+
+uint64_t orIntoCheckSse2(uint64_t *W, const uint64_t *M, size_t N) {
+  V2 Clash = {0, 0};
+  size_t I = 0;
+  for (; I + 2 <= N; I += 2) {
+    V2 A, B;
+    std::memcpy(&A, W + I, sizeof(V2));
+    std::memcpy(&B, M + I, sizeof(V2));
+    Clash |= A & B;
+    A |= B;
+    std::memcpy(W + I, &A, sizeof(V2));
+  }
+  uint64_t Tail = 0;
+  if (I < N) {
+    Tail = W[I] & M[I];
+    W[I] |= M[I];
+  }
+  return Clash[0] | Clash[1] | Tail;
+}
+
+void andNotIntoSse2(uint64_t *W, const uint64_t *M, size_t N) {
+  size_t I = 0;
+  for (; I + 2 <= N; I += 2) {
+    V2 A, B;
+    std::memcpy(&A, W + I, sizeof(V2));
+    std::memcpy(&B, M + I, sizeof(V2));
+    A &= ~B;
+    std::memcpy(W + I, &A, sizeof(V2));
+  }
+  if (I < N)
+    W[I] &= ~M[I];
+}
+
+//===----------------------------------------------------------------------===//
+// AVX2 tier (256-bit; per-function target attribute + cpuid probe)
+//===----------------------------------------------------------------------===//
+
+using V4 = uint64_t __attribute__((vector_size(32)));
+
+__attribute__((target("avx2"))) ptrdiff_t
+firstConflictAvx2(const uint64_t *W, const uint64_t *M, size_t N) {
+  size_t I = 0;
+  for (; I + 4 <= N; I += 4) {
+    V4 A, B;
+    std::memcpy(&A, W + I, sizeof(V4));
+    std::memcpy(&B, M + I, sizeof(V4));
+    V4 C = A & B;
+    if (C[0] | C[1] | C[2] | C[3]) {
+      // Abort-on-first-conflict accounting needs the first hot lane.
+      for (size_t L = 0; L < 4; ++L)
+        if (C[L])
+          return static_cast<ptrdiff_t>(I + L);
+    }
+  }
+  for (; I < N; ++I)
+    if (W[I] & M[I])
+      return static_cast<ptrdiff_t>(I);
+  return -1;
+}
+
+__attribute__((target("avx2"))) void orIntoAvx2(uint64_t *W, const uint64_t *M,
+                                                size_t N) {
+  size_t I = 0;
+  for (; I + 4 <= N; I += 4) {
+    V4 A, B;
+    std::memcpy(&A, W + I, sizeof(V4));
+    std::memcpy(&B, M + I, sizeof(V4));
+    A |= B;
+    std::memcpy(W + I, &A, sizeof(V4));
+  }
+  for (; I < N; ++I)
+    W[I] |= M[I];
+}
+
+__attribute__((target("avx2"))) uint64_t
+orIntoCheckAvx2(uint64_t *W, const uint64_t *M, size_t N) {
+  V4 Clash = {0, 0, 0, 0};
+  size_t I = 0;
+  for (; I + 4 <= N; I += 4) {
+    V4 A, B;
+    std::memcpy(&A, W + I, sizeof(V4));
+    std::memcpy(&B, M + I, sizeof(V4));
+    Clash |= A & B;
+    A |= B;
+    std::memcpy(W + I, &A, sizeof(V4));
+  }
+  uint64_t Tail = 0;
+  for (; I < N; ++I) {
+    Tail |= W[I] & M[I];
+    W[I] |= M[I];
+  }
+  return Clash[0] | Clash[1] | Clash[2] | Clash[3] | Tail;
+}
+
+__attribute__((target("avx2"))) void
+andNotIntoAvx2(uint64_t *W, const uint64_t *M, size_t N) {
+  size_t I = 0;
+  for (; I + 4 <= N; I += 4) {
+    V4 A, B;
+    std::memcpy(&A, W + I, sizeof(V4));
+    std::memcpy(&B, M + I, sizeof(V4));
+    A &= ~B;
+    std::memcpy(W + I, &A, sizeof(V4));
+  }
+  for (; I < N; ++I)
+    W[I] &= ~M[I];
+}
+
+#endif // RMD_SIMD_X86
+
+//===----------------------------------------------------------------------===//
+// Tier resolution
+//===----------------------------------------------------------------------===//
+
+/// Best tier this build and host can execute.
+Tier hostTier() {
+#if RMD_SIMD_X86
+  return __builtin_cpu_supports("avx2") ? Tier::Avx2 : Tier::Sse2;
+#else
+  return Tier::Scalar;
+#endif
+}
+
+/// Applies the RMD_SIMD override, clamped to the host tier.
+Tier resolveTier() {
+  Tier Host = hostTier();
+  const char *Env = std::getenv("RMD_SIMD");
+  if (!Env || !*Env)
+    return Host;
+  std::string S(Env);
+  for (char &C : S)
+    C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+  if (S == "off" || S == "scalar" || S == "0" || S == "none")
+    return Tier::Scalar;
+  if (S == "sse2")
+    return Host < Tier::Sse2 ? Host : Tier::Sse2;
+  if (S == "avx2")
+    return Host < Tier::Avx2 ? Host : Tier::Avx2;
+  return Host; // "auto" and unknown values select the best available
+}
+
+Tier &activeTierStorage() {
+  static Tier T = resolveTier();
+  return T;
+}
+
+} // namespace
+
+const char *rmd::simd::tierName(Tier T) {
+  switch (T) {
+  case Tier::Scalar:
+    return "scalar";
+  case Tier::Sse2:
+    return "sse2";
+  case Tier::Avx2:
+    return "avx2";
+  }
+  return "scalar";
+}
+
+Tier rmd::simd::activeTier() { return activeTierStorage(); }
+
+Tier rmd::simd::forceTier(Tier T) {
+  Tier Host = hostTier();
+  Tier Clamped = T < Host ? T : Host;
+  Tier Prev = activeTierStorage();
+  activeTierStorage() = Clamped;
+  return Prev;
+}
+
+ptrdiff_t rmd::simd::firstConflictDispatch(const uint64_t *Words,
+                                           const uint64_t *Masks, size_t N) {
+#if RMD_SIMD_X86
+  switch (activeTierStorage()) {
+  case Tier::Avx2:
+    return firstConflictAvx2(Words, Masks, N);
+  case Tier::Sse2:
+    return firstConflictSse2(Words, Masks, N);
+  case Tier::Scalar:
+    break;
+  }
+#endif
+  return firstConflictScalar(Words, Masks, N);
+}
+
+void rmd::simd::orIntoDispatch(uint64_t *Words, const uint64_t *Masks,
+                               size_t N) {
+#if RMD_SIMD_X86
+  switch (activeTierStorage()) {
+  case Tier::Avx2:
+    return orIntoAvx2(Words, Masks, N);
+  case Tier::Sse2:
+    return orIntoSse2(Words, Masks, N);
+  case Tier::Scalar:
+    break;
+  }
+#endif
+  orIntoScalar(Words, Masks, N);
+}
+
+uint64_t rmd::simd::orIntoCheckDispatch(uint64_t *Words, const uint64_t *Masks,
+                                        size_t N) {
+#if RMD_SIMD_X86
+  switch (activeTierStorage()) {
+  case Tier::Avx2:
+    return orIntoCheckAvx2(Words, Masks, N);
+  case Tier::Sse2:
+    return orIntoCheckSse2(Words, Masks, N);
+  case Tier::Scalar:
+    break;
+  }
+#endif
+  return orIntoCheckScalar(Words, Masks, N);
+}
+
+void rmd::simd::andNotIntoDispatch(uint64_t *Words, const uint64_t *Masks,
+                                   size_t N) {
+#if RMD_SIMD_X86
+  switch (activeTierStorage()) {
+  case Tier::Avx2:
+    return andNotIntoAvx2(Words, Masks, N);
+  case Tier::Sse2:
+    return andNotIntoSse2(Words, Masks, N);
+  case Tier::Scalar:
+    break;
+  }
+#endif
+  andNotIntoScalar(Words, Masks, N);
+}

@@ -1,0 +1,438 @@
+//===- query/SimdOps.h - Vectorized word-mask primitives -------*- C++ -*-===//
+///
+/// \file
+/// The three word-granular primitives of the bitvector hot path —
+/// first-conflict scan (AND), reserve (OR), release (AND-NOT) — over
+/// contiguous spans of 64-bit words, with 128/256-bit vector kernels behind
+/// a tiny compile-time + runtime dispatch and a portable scalar fallback.
+///
+/// Dispatch tiers:
+///   - Scalar: portable C++, the reference semantics; every other tier must
+///     produce bit-identical results (tests/SimdQueryTest sweeps this).
+///   - Sse2:   128-bit GCC/Clang vector extensions; baseline on x86-64, so
+///     it needs no runtime probe there.
+///   - Avx2:   256-bit kernels compiled with a per-function target
+///     attribute (no global -mavx2), selected only when
+///     __builtin_cpu_supports("avx2") says the host has it.
+///
+/// The active tier resolves once, from min(compile-time support, host CPU,
+/// RMD_SIMD override). `RMD_SIMD=off|scalar|sse2|avx2` forces a tier from
+/// the environment (sanitizer CI pins `off`: vector intrinsics and
+/// ASan/UBSan interact poorly); building with -DRMD_FORCE_SCALAR removes
+/// the vector kernels entirely. Spans of one or two words — the common
+/// pattern length on small machines — are handled inline before any
+/// dispatch, so the vector machinery only ever sees the multi-word case it
+/// helps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMD_QUERY_SIMDOPS_H
+#define RMD_QUERY_SIMDOPS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace rmd {
+namespace simd {
+
+/// Kernel tiers, ordered by preference.
+enum class Tier : int { Scalar = 0, Sse2 = 1, Avx2 = 2 };
+
+/// Stable lowercase tier name ("scalar", "sse2", "avx2").
+const char *tierName(Tier T);
+
+/// The tier every dispatched call uses; resolved once on first use.
+Tier activeTier();
+
+/// Forces the active tier (clamped to what the build and host support) and
+/// returns the previous one. For tests that sweep scalar-vs-vector
+/// equivalence in one process; not thread-safe against concurrent queries.
+Tier forceTier(Tier T);
+
+//===----------------------------------------------------------------------===//
+// Out-of-line dispatched kernels (SimdOps.cpp). Call the inline wrappers
+// below instead; they peel the short spans that dominate real patterns.
+//===----------------------------------------------------------------------===//
+
+ptrdiff_t firstConflictDispatch(const uint64_t *Words, const uint64_t *Masks,
+                                size_t N);
+void orIntoDispatch(uint64_t *Words, const uint64_t *Masks, size_t N);
+uint64_t orIntoCheckDispatch(uint64_t *Words, const uint64_t *Masks, size_t N);
+void andNotIntoDispatch(uint64_t *Words, const uint64_t *Masks, size_t N);
+
+#ifndef RMD_FORCE_SCALAR
+/// 128-bit lane for the inline short-span peels. GCC/Clang synthesize these
+/// vector-extension ops at the baseline ISA (SSE2 on x86-64, NEON on
+/// aarch64, plain word pairs elsewhere), so no target attribute or runtime
+/// probe is needed. The unaligned accesses go through __builtin_memcpy,
+/// which the compilers fold to movdqu-class loads.
+typedef uint64_t ShortV2 __attribute__((vector_size(16), may_alias));
+
+inline ShortV2 loadV2(const uint64_t *P) {
+  ShortV2 V;
+  __builtin_memcpy(&V, P, sizeof(V));
+  return V;
+}
+inline void storeV2(uint64_t *P, ShortV2 V) { __builtin_memcpy(P, &V, sizeof(V)); }
+#endif
+
+/// Inline peel width: spans up to this many words are handled by the
+/// wrappers below without reaching the dispatched kernels. Covers every
+/// per-op pattern of the bundled machine corpus except fig1's widest.
+constexpr size_t ShortSpanWords =
+#ifndef RMD_FORCE_SCALAR
+    8;
+#else
+    4;
+#endif
+
+/// Index of the first word with (Words[i] & Masks[i]) != 0, or -1 if the
+/// whole span is conflict-free. The index contract is what lets the caller
+/// reproduce abort-on-first-conflict work accounting exactly.
+///
+/// Short spans use *overlapping pair covers*: 128-bit lanes at [0, 1] and
+/// [N-2, N-1] cover any 2 <= N <= 4 (the lanes overlap when N < 4), and two
+/// more at [2, 3] and [N-4, N-3] extend the cover to N <= 8. Detection is
+/// branch-free within a tier — one data-dependent branch for the whole span
+/// instead of one per word — and the exact index is recovered only on the
+/// conflict path, which has to walk PrefixPool anyway.
+inline ptrdiff_t firstConflict(const uint64_t *Words, const uint64_t *Masks,
+                               size_t N) {
+  if (N == 0)
+    return -1;
+  if (N == 1) // single-word patterns dominate on small machines
+    return (Words[0] & Masks[0]) ? 0 : -1;
+  if (N == 2) { // two-word spans are next; a 128-bit lane only breaks even
+    uint64_t Hot = (Words[0] & Masks[0]) | (Words[1] & Masks[1]);
+    if (!Hot)
+      return -1;
+    return (Words[0] & Masks[0]) ? 0 : 1;
+  }
+#ifndef RMD_FORCE_SCALAR
+  if (N <= 8) {
+    size_t B = N - 2;
+    ShortV2 Hot = (loadV2(Words) & loadV2(Masks)) |
+                  (loadV2(Words + B) & loadV2(Masks + B));
+    if (N > 4) {
+      size_t C = N - 4;
+      Hot |= (loadV2(Words + 2) & loadV2(Masks + 2)) |
+             (loadV2(Words + C) & loadV2(Masks + C));
+    }
+    if (!(Hot[0] | Hot[1]))
+      return -1;
+    ptrdiff_t I = 0;
+    while (!(Words[I] & Masks[I]))
+      ++I;
+    return I;
+  }
+#else
+  if (N <= 4) {
+    size_t Last = N - 1;
+    uint64_t Hot = (Words[0] & Masks[0]) | (Words[Last] & Masks[Last]);
+    if (N > 2)
+      Hot |= (Words[1] & Masks[1]) | (Words[N - 2] & Masks[N - 2]);
+    if (!Hot)
+      return -1;
+    ptrdiff_t I = 0;
+    while (!(Words[I] & Masks[I]))
+      ++I;
+    return I;
+  }
+#endif
+  return firstConflictDispatch(Words, Masks, N);
+}
+
+/// Words[i] |= Masks[i] over the span (reserve). OR is idempotent, so the
+/// overlapping-pair cover (see firstConflict) may touch a word twice.
+inline void orInto(uint64_t *Words, const uint64_t *Masks, size_t N) {
+  if (N == 0)
+    return;
+  if (N == 1) {
+    Words[0] |= Masks[0];
+    return;
+  }
+  if (N == 2) {
+    Words[0] |= Masks[0];
+    Words[1] |= Masks[1];
+    return;
+  }
+#ifndef RMD_FORCE_SCALAR
+  if (N <= 8) {
+    size_t B = N - 2;
+    storeV2(Words, loadV2(Words) | loadV2(Masks));
+    storeV2(Words + B, loadV2(Words + B) | loadV2(Masks + B));
+    if (N > 4) {
+      size_t C = N - 4;
+      storeV2(Words + 2, loadV2(Words + 2) | loadV2(Masks + 2));
+      storeV2(Words + C, loadV2(Words + C) | loadV2(Masks + C));
+    }
+    return;
+  }
+#else
+  if (N <= 4) {
+    size_t Last = N - 1;
+    Words[0] |= Masks[0];
+    Words[Last] |= Masks[Last];
+    if (N > 2) {
+      Words[1] |= Masks[1];
+      Words[N - 2] |= Masks[N - 2];
+    }
+    return;
+  }
+#endif
+  orIntoDispatch(Words, Masks, N);
+}
+
+/// Words[i] |= Masks[i] over the span, returning the OR-reduction of the
+/// *pre-update* overlaps (Words[i] & Masks[i]). Zero means the reservation
+/// was contention-free — the same answer a separate firstConflict scan
+/// would give, fused into the store loop so assign() can assert its
+/// precondition without re-reading the span. All overlap loads happen
+/// before any store, so the overlapping-pair cover cannot mistake its own
+/// reservation for a clash.
+inline uint64_t orIntoCheck(uint64_t *Words, const uint64_t *Masks, size_t N) {
+  if (N == 0)
+    return 0;
+  if (N == 1) {
+    uint64_t Clash = Words[0] & Masks[0];
+    Words[0] |= Masks[0];
+    return Clash;
+  }
+  if (N == 2) {
+    uint64_t Clash = (Words[0] & Masks[0]) | (Words[1] & Masks[1]);
+    Words[0] |= Masks[0];
+    Words[1] |= Masks[1];
+    return Clash;
+  }
+#ifndef RMD_FORCE_SCALAR
+  if (N <= 8) {
+    size_t B = N - 2;
+    ShortV2 W0 = loadV2(Words), M0 = loadV2(Masks);
+    ShortV2 WB = loadV2(Words + B), MB = loadV2(Masks + B);
+    ShortV2 Clash = (W0 & M0) | (WB & MB);
+    if (N > 4) {
+      size_t C = N - 4;
+      ShortV2 W2 = loadV2(Words + 2), M2 = loadV2(Masks + 2);
+      ShortV2 WC = loadV2(Words + C), MC = loadV2(Masks + C);
+      Clash |= (W2 & M2) | (WC & MC);
+      storeV2(Words + 2, W2 | M2);
+      storeV2(Words + C, WC | MC);
+    }
+    // Overlapping stores are benign: every store writes Words[i] | Masks[i]
+    // from pre-store loads, so a twice-covered word gets the same value.
+    storeV2(Words, W0 | M0);
+    storeV2(Words + B, WB | MB);
+    return Clash[0] | Clash[1];
+  }
+#else
+  if (N <= 4) {
+    size_t Last = N - 1;
+    uint64_t Clash = (Words[0] & Masks[0]) | (Words[Last] & Masks[Last]);
+    if (N > 2)
+      Clash |= (Words[1] & Masks[1]) | (Words[N - 2] & Masks[N - 2]);
+    Words[0] |= Masks[0];
+    Words[Last] |= Masks[Last];
+    if (N > 2) {
+      Words[1] |= Masks[1];
+      Words[N - 2] |= Masks[N - 2];
+    }
+    return Clash;
+  }
+#endif
+  return orIntoCheckDispatch(Words, Masks, N);
+}
+
+/// Words[i] &= ~Masks[i] over the span (release). AND-NOT is idempotent;
+/// same overlapping-pair cover as orInto.
+inline void andNotInto(uint64_t *Words, const uint64_t *Masks, size_t N) {
+  if (N == 0)
+    return;
+  if (N == 1) {
+    Words[0] &= ~Masks[0];
+    return;
+  }
+  if (N == 2) {
+    Words[0] &= ~Masks[0];
+    Words[1] &= ~Masks[1];
+    return;
+  }
+#ifndef RMD_FORCE_SCALAR
+  if (N <= 8) {
+    size_t B = N - 2;
+    storeV2(Words, loadV2(Words) & ~loadV2(Masks));
+    storeV2(Words + B, loadV2(Words + B) & ~loadV2(Masks + B));
+    if (N > 4) {
+      size_t C = N - 4;
+      storeV2(Words + 2, loadV2(Words + 2) & ~loadV2(Masks + 2));
+      storeV2(Words + C, loadV2(Words + C) & ~loadV2(Masks + C));
+    }
+    return;
+  }
+#else
+  if (N <= 4) {
+    size_t Last = N - 1;
+    Words[0] &= ~Masks[0];
+    Words[Last] &= ~Masks[Last];
+    if (N > 2) {
+      Words[1] &= ~Masks[1];
+      Words[N - 2] &= ~Masks[N - 2];
+    }
+    return;
+  }
+#endif
+  andNotIntoDispatch(Words, Masks, N);
+}
+
+//===----------------------------------------------------------------------===//
+// Fixed-stride row kernels (uniform pattern arena)
+//===----------------------------------------------------------------------===//
+//
+// The query module pads every pattern of a machine to one fixed row width
+// (2, 4 or 8 words, zero-filled past the real span) so the hot ops can run
+// a single fixed-width kernel with no span-length branch: mixed-length
+// traffic was costing a near-certain mispredict per call on machines whose
+// op mix straddles the one-word/multi-word boundary. \p S is a per-module
+// constant, so the switch below predicts perfectly; zero-padded words
+// conflict with nothing and OR/AND-NOT of zero is the identity.
+
+/// OR-reduction of Words[i] & Masks[i] over a fixed-width row.
+inline uint64_t rowHot(const uint64_t *Words, const uint64_t *Masks,
+                       size_t S) {
+#ifndef RMD_FORCE_SCALAR
+  switch (S) {
+  case 2: {
+    ShortV2 H = loadV2(Words) & loadV2(Masks);
+    return H[0] | H[1];
+  }
+  case 4: {
+    ShortV2 H = (loadV2(Words) & loadV2(Masks)) |
+                (loadV2(Words + 2) & loadV2(Masks + 2));
+    return H[0] | H[1];
+  }
+  default: {
+    ShortV2 H = (loadV2(Words) & loadV2(Masks)) |
+                (loadV2(Words + 2) & loadV2(Masks + 2)) |
+                (loadV2(Words + 4) & loadV2(Masks + 4)) |
+                (loadV2(Words + 6) & loadV2(Masks + 6));
+    return H[0] | H[1];
+  }
+  }
+#else
+  uint64_t Hot = 0;
+  for (size_t I = 0; I < S; ++I)
+    Hot |= Words[I] & Masks[I];
+  return Hot;
+#endif
+}
+
+/// Words[i] |= Masks[i] over a fixed-width row, returning the OR-reduction
+/// of the pre-update overlaps (see orIntoCheck).
+inline uint64_t rowOrCheck(uint64_t *Words, const uint64_t *Masks, size_t S) {
+#ifndef RMD_FORCE_SCALAR
+  switch (S) {
+  case 2: {
+    ShortV2 W0 = loadV2(Words), M0 = loadV2(Masks);
+    storeV2(Words, W0 | M0);
+    ShortV2 H = W0 & M0;
+    return H[0] | H[1];
+  }
+  case 4: {
+    ShortV2 W0 = loadV2(Words), M0 = loadV2(Masks);
+    ShortV2 W2 = loadV2(Words + 2), M2 = loadV2(Masks + 2);
+    storeV2(Words, W0 | M0);
+    storeV2(Words + 2, W2 | M2);
+    ShortV2 H = (W0 & M0) | (W2 & M2);
+    return H[0] | H[1];
+  }
+  default: {
+    ShortV2 W0 = loadV2(Words), M0 = loadV2(Masks);
+    ShortV2 W2 = loadV2(Words + 2), M2 = loadV2(Masks + 2);
+    ShortV2 W4 = loadV2(Words + 4), M4 = loadV2(Masks + 4);
+    ShortV2 W6 = loadV2(Words + 6), M6 = loadV2(Masks + 6);
+    storeV2(Words, W0 | M0);
+    storeV2(Words + 2, W2 | M2);
+    storeV2(Words + 4, W4 | M4);
+    storeV2(Words + 6, W6 | M6);
+    ShortV2 H = (W0 & M0) | (W2 & M2) | (W4 & M4) | (W6 & M6);
+    return H[0] | H[1];
+  }
+  }
+#else
+  uint64_t Hot = 0;
+  for (size_t I = 0; I < S; ++I) {
+    Hot |= Words[I] & Masks[I];
+    Words[I] |= Masks[I];
+  }
+  return Hot;
+#endif
+}
+
+/// Words[i] &= ~Masks[i] over a fixed-width row.
+inline void rowAndNot(uint64_t *Words, const uint64_t *Masks, size_t S) {
+#ifndef RMD_FORCE_SCALAR
+  switch (S) {
+  case 2:
+    storeV2(Words, loadV2(Words) & ~loadV2(Masks));
+    break;
+  case 4:
+    storeV2(Words, loadV2(Words) & ~loadV2(Masks));
+    storeV2(Words + 2, loadV2(Words + 2) & ~loadV2(Masks + 2));
+    break;
+  default:
+    storeV2(Words, loadV2(Words) & ~loadV2(Masks));
+    storeV2(Words + 2, loadV2(Words + 2) & ~loadV2(Masks + 2));
+    storeV2(Words + 4, loadV2(Words + 4) & ~loadV2(Masks + 4));
+    storeV2(Words + 6, loadV2(Words + 6) & ~loadV2(Masks + 6));
+    break;
+  }
+#else
+  for (size_t I = 0; I < S; ++I)
+    Words[I] &= ~Masks[I];
+#endif
+}
+
+//===----------------------------------------------------------------------===//
+// Cache-line-aligned word storage
+//===----------------------------------------------------------------------===//
+
+/// Minimal aligned allocator: WordVector spans start on a cache line, so a
+/// 256-bit load never splits a line and neighbouring spans don't false-share
+/// the reserved table's tail.
+template <typename T, size_t Alignment> struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment> &) noexcept {}
+
+  T *allocate(size_t N) {
+    return static_cast<T *>(
+        ::operator new(N * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T *P, size_t) noexcept {
+    ::operator delete(P, std::align_val_t(Alignment));
+  }
+
+  template <typename U> struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  friend bool operator==(const AlignedAllocator &,
+                         const AlignedAllocator &) noexcept {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator &,
+                         const AlignedAllocator &) noexcept {
+    return false;
+  }
+};
+
+/// 64-byte-aligned vector of reserved-table / pattern-arena words.
+using WordVector = std::vector<uint64_t, AlignedAllocator<uint64_t, 64>>;
+
+} // namespace simd
+} // namespace rmd
+
+#endif // RMD_QUERY_SIMDOPS_H

@@ -217,13 +217,22 @@ attemptSchedule(const DepGraph &G, const QueryEnvironment &Env, int II,
       Slot = (!S.EverScheduled[V] || Estart > S.PrevTime[V])
                  ? Estart
                  : S.PrevTime[V] + 1;
-      // Rotate through the II-feasible alternatives.
+      // Rotate through the II-feasible alternatives. Each draw advances the
+      // rotation by one position, so Alts.size() draws cover every
+      // alternative exactly once — the up-front AltFeasible scan guarantees
+      // a feasible one is among them. If that invariant ever breaks, raise
+      // the II through the normal escalation path rather than silently
+      // placing an infeasible alternative (the old assert-only guard
+      // vanished in NDEBUG builds).
       unsigned Tried = 0;
       do {
         Alt = static_cast<int>(S.ForcedCount[V]++ % Alts.size());
         ++Tried;
-      } while (!AltFeasible[V][Alt] && Tried <= Alts.size());
-      assert(AltFeasible[V][Alt] && "no feasible alternative survived");
+      } while (!AltFeasible[V][Alt] && Tried < Alts.size());
+      if (!AltFeasible[V][Alt]) {
+        Accum.accumulate(Module->counters());
+        return AttemptEnd::BudgetExhausted;
+      }
 
       std::vector<InstanceId> Evicted;
       Q.assignAndFree(Alts[Alt], Slot, static_cast<InstanceId>(V), Evicted);

@@ -1,7 +1,7 @@
 //===- tests/PerfGateTest.cpp - Perf-regression gate ----------------------===//
 //
 // The `perf` ctest label: replays the pinned mini-corpus, writes the
-// BENCH_pr5.json document at the repository root, and fails when query
+// BENCH_pr7.json document at the repository root, and fails when query
 // throughput or reduction time regresses past the tolerance against the
 // checked-in baseline (bench/perf_baseline.json). The baseline carries
 // headroom (see perf_gate --write-baseline), so a failure here means a
@@ -100,7 +100,7 @@ TEST(PerfGate, ComparePerfFlagsRegressions) {
 
 TEST(PerfGate, WritesBenchDocumentAtRepoRoot) {
   const std::vector<PerfEntry> &Entries = measuredOnce();
-  std::string Path = std::string(RMD_SOURCE_DIR) + "/BENCH_pr5.json";
+  std::string Path = std::string(RMD_SOURCE_DIR) + "/BENCH_pr7.json";
   {
     std::ofstream Out(Path, std::ios::trunc);
     ASSERT_TRUE(Out.good()) << "cannot write " << Path;

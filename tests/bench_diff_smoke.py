@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Smoke test for scripts/bench_diff.py (run via ctest).
+
+Covers the CI-gate holes the script guards against: a machine missing from
+the current document, a zero-baseline regression, and a missing metric key
+must all fail the gate (exit 1) without a traceback, while identical and
+improved documents pass (exit 0).
+"""
+
+import copy
+import json
+import subprocess
+import sys
+import tempfile
+import os
+
+BENCH_DIFF = sys.argv[1]
+
+
+def entry(machine, reduce_ms=1.0, disc=50.0, bitv=100.0):
+    return {
+        "machine": machine,
+        "reduce_ms": reduce_ms,
+        "query_mqps_discrete": disc,
+        "query_mqps_bitvector": bitv,
+    }
+
+
+def doc(machines):
+    return {"schema": "rmd-bench-v1", "machines": machines}
+
+
+def run(base, cur):
+    with tempfile.TemporaryDirectory() as tmp:
+        bp = os.path.join(tmp, "base.json")
+        cp = os.path.join(tmp, "cur.json")
+        with open(bp, "w", encoding="utf-8") as f:
+            json.dump(base, f)
+        with open(cp, "w", encoding="utf-8") as f:
+            json.dump(cur, f)
+        return subprocess.run(
+            [sys.executable, BENCH_DIFF, bp, cp],
+            capture_output=True, text=True)
+
+
+def check(name, result, want_exit, want_mark=None):
+    ok = result.returncode == want_exit
+    if "Traceback" in result.stderr:
+        ok = False
+    if want_mark is not None and want_mark not in result.stdout:
+        ok = False
+    status = "ok" if ok else "FAIL"
+    print(f"{status}: {name} (exit {result.returncode}, want {want_exit})")
+    if not ok:
+        print(result.stdout)
+        print(result.stderr)
+    return ok
+
+
+def main():
+    base = doc([entry("fig1"), entry("cydra5", reduce_ms=10.0)])
+    ok = True
+
+    # Identical documents pass.
+    ok &= check("identical", run(base, copy.deepcopy(base)), 0)
+
+    # Improvements pass.
+    better = copy.deepcopy(base)
+    better["machines"][0]["query_mqps_bitvector"] = 300.0
+    ok &= check("improvement", run(base, better), 0)
+
+    # A machine dropped from the current document fails the gate.
+    dropped = doc([entry("fig1")])
+    ok &= check("machine missing from current", run(base, dropped), 1,
+                "missing from current")
+
+    # A machine new in the current document does not fail the gate.
+    grown = copy.deepcopy(base)
+    grown["machines"].append(entry("m88100"))
+    ok &= check("machine new in current", run(base, grown), 0,
+                "not in baseline")
+
+    # Zero baseline must not mask a regression on lower-is-better metrics.
+    zero_base = doc([entry("fig1", reduce_ms=0.0)])
+    zero_cur = doc([entry("fig1", reduce_ms=5.0)])
+    ok &= check("zero-baseline regression", run(zero_base, zero_cur), 1,
+                "REGRESSED")
+
+    # Zero baseline and zero current is flat.
+    zero_flat = doc([entry("fig1", reduce_ms=0.0)])
+    ok &= check("zero-baseline flat", run(zero_flat, copy.deepcopy(zero_flat)),
+                0)
+
+    # A missing metric key is a gate failure, not a KeyError.
+    nokey = copy.deepcopy(base)
+    del nokey["machines"][0]["query_mqps_bitvector"]
+    ok &= check("missing metric key", run(base, nokey), 1, "missing from")
+
+    # A plain regression past tolerance still fails.
+    slower = copy.deepcopy(base)
+    slower["machines"][1]["query_mqps_bitvector"] = 10.0
+    ok &= check("ordinary regression", run(base, slower), 1, "REGRESSED")
+
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
