@@ -21,6 +21,11 @@ METRICS = (
     ("reduce_ms", "ms", False),
     ("query_mqps_discrete", "Mq/s", True),
     ("query_mqps_bitvector", "Mq/s", True),
+    # Contention-query server (bench/server_throughput): request latency
+    # regresses upward, aggregate throughput regresses downward.
+    ("server_p50_us", "us", False),
+    ("server_p99_us", "us", False),
+    ("server_mqps", "Mq/s", True),
 )
 
 
@@ -66,9 +71,15 @@ def main():
         for key, unit, higher_better in METRICS:
             b = base[machine].get(key)
             c = cur[machine].get(key)
+            if b is None and c is None:
+                # Neither document measures this metric (e.g. server
+                # latency in a query-throughput document): nothing to
+                # guard, skip the row entirely.
+                continue
             if b is None or c is None:
-                # A missing metric means the bench did not measure what the
-                # gate is supposed to guard — fail, don't traceback.
+                # A metric present on one side only means the bench
+                # stopped (or never started) measuring what the gate is
+                # supposed to guard — fail, don't traceback.
                 where = "baseline" if b is None else "current"
                 print(f"{machine:<12} {key:<22} (missing from {where})"
                       f"  <-- REGRESSED")

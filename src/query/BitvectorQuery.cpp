@@ -2,8 +2,6 @@
 
 #include "query/BitvectorQuery.h"
 
-#include "query/DiscreteQuery.h" // hasModuloSelfConflict
-#include "reduce/Metrics.h"      // cyclesPerWord
 #include "support/FatalError.h"
 
 #include <algorithm>
@@ -14,134 +12,30 @@ using namespace rmd;
 
 BitvectorQueryModule::BitvectorQueryModule(const MachineDescription &TheMD,
                                            QueryConfig TheConfig)
-    : MD(TheMD), Config(TheConfig), NumResources(TheMD.numResources()) {
+    : BitvectorQueryModule(TheMD, TheConfig,
+                           buildBitvectorPatternArena(TheMD, TheConfig)) {}
+
+BitvectorQueryModule::BitvectorQueryModule(
+    const MachineDescription &TheMD, QueryConfig TheConfig,
+    std::shared_ptr<const BitvectorPatternArena> SharedArena)
+    : MD(TheMD), Config(TheConfig), NumResources(TheMD.numResources()),
+      Arena(std::move(SharedArena)) {
   assert(MD.isExpanded() && "query module requires an expanded machine");
-  assert(NumResources <= Config.WordBits &&
-         "bitvector representation requires numResources <= WordBits; "
-         "reduce the machine description first");
-  K = cyclesPerWord(NumResources, Config.WordBits);
-  if (Config.CyclesPerWordOverride > 0) {
-    assert(Config.CyclesPerWordOverride <= K &&
-           "cycles-per-word override exceeds what the word width holds");
-    K = Config.CyclesPerWordOverride;
-  }
-
-  if (Config.Mode == QueryConfig::Modulo) {
-    assert(Config.ModuloII > 0 && "modulo mode requires a positive II");
-    NumPhases = static_cast<unsigned>(Config.ModuloII);
+  assert(Arena && "null pattern arena");
+  assert(Arena->compatibleWith(MD, Config) &&
+         "pattern arena built for a different machine or addressing config");
+  // Mirror the arena fields the hot loops touch (see the member comment).
+  Patterns = Arena->Patterns.data();
+  Masks = Arena->MaskPool.data();
+  Prefix = Arena->PrefixPool.data();
+  Uniform = Arena->UniformPool.data();
+  SelfConflict = Arena->SelfConflict.data();
+  UniformRows = Arena->UniformRows;
+  K = Arena->K;
+  NumPhases = Arena->NumPhases;
+  KReciprocal = Arena->KReciprocal;
+  if (Config.Mode == QueryConfig::Modulo)
     ensureWords((static_cast<size_t>(Config.ModuloII) + K - 1) / K);
-    SelfConflict.assign(MD.numOperations(), 0);
-    for (OpId Op = 0; Op < MD.numOperations(); ++Op)
-      SelfConflict[Op] =
-          hasModuloSelfConflict(MD.operation(Op).table(), Config.ModuloII);
-  } else {
-    NumPhases = K;
-  }
-  KReciprocal = ((uint64_t(1) << KReciprocalShift) + K - 1) / K;
-  buildPatterns();
-}
-
-void BitvectorQueryModule::bucketUsages(const ReservationTable &RT,
-                                        unsigned Phase,
-                                        std::vector<uint64_t> &Scratch,
-                                        int &MinWord, int &MaxWord) const {
-  for (const ResourceUsage &U : RT.usages()) {
-    // A negative usage cycle would produce a negative span word here, and
-    // WordBase + FirstWord on a size_t base later wraps to a huge index
-    // that ensureWords() tries to allocate. Reject loudly; lintMachine()
-    // diagnoses such descriptions up front.
-    if (U.Cycle < 0)
-      fatalError("reservation table has a negative usage cycle; "
-                 "run lintMachine()/validate() on this description");
-    int Word;
-    unsigned Lane;
-    if (Config.Mode == QueryConfig::Modulo) {
-      // Phase is the issue slot within the MRT; the modulo wrap is folded
-      // into the pattern here, at build time, so the query loops scan a
-      // straight span with no per-word wrap handling.
-      int Slot = (static_cast<int>(Phase) + U.Cycle) % Config.ModuloII;
-      Word = Slot / static_cast<int>(K);
-      Lane = static_cast<unsigned>(Slot) % K;
-    } else {
-      // Phase is the issue cycle's position within its word.
-      int Shifted = static_cast<int>(Phase) + U.Cycle;
-      Word = Shifted / static_cast<int>(K);
-      Lane = static_cast<unsigned>(Shifted) % K;
-    }
-    if (static_cast<size_t>(Word) >= Scratch.size())
-      Scratch.resize(static_cast<size_t>(Word) + 1, 0);
-    Scratch[static_cast<size_t>(Word)] |=
-        1ull << (Lane * static_cast<unsigned>(NumResources) + U.Resource);
-    MinWord = std::min(MinWord, Word);
-    MaxWord = std::max(MaxWord, Word);
-  }
-}
-
-BitvectorQueryModule::PatternRef
-BitvectorQueryModule::emitPattern(std::vector<uint64_t> &Scratch, int MinWord,
-                                  int MaxWord) {
-  PatternRef Ref;
-  if (MaxWord < MinWord)
-    return Ref; // no usages: an empty span
-  Ref.MaskBegin = static_cast<uint32_t>(MaskPool.size());
-  Ref.FirstWord = MinWord;
-  Ref.DenseLen = static_cast<uint16_t>(MaxWord - MinWord + 1);
-  uint16_t Nonempty = 0;
-  for (int W = MinWord; W <= MaxWord; ++W) {
-    uint64_t Mask = Scratch[static_cast<size_t>(W)];
-    Scratch[static_cast<size_t>(W)] = 0;
-    if (Mask)
-      ++Nonempty;
-    MaskPool.push_back(Mask);
-    PrefixPool.push_back(Nonempty);
-  }
-  Ref.Nonempty = Nonempty;
-  if (Ref.DenseLen == 1)
-    Ref.InlineMask = MaskPool[Ref.MaskBegin];
-  return Ref;
-}
-
-void BitvectorQueryModule::buildPatterns() {
-  Patterns.assign(static_cast<size_t>(MD.numOperations()) * NumPhases,
-                  PatternRef{});
-  MaskPool.clear();
-  PrefixPool.clear();
-  // One bucketed pass per (op, phase): usages accumulate into a
-  // word-indexed scratch array (no find_if over an output list), then the
-  // touched span is appended to the arena in word order.
-  std::vector<uint64_t> Scratch;
-  for (OpId Op = 0; Op < MD.numOperations(); ++Op) {
-    const ReservationTable &RT = MD.operation(Op).table();
-    for (unsigned Phase = 0; Phase < NumPhases; ++Phase) {
-      int MinWord = INT_MAX, MaxWord = INT_MIN;
-      bucketUsages(RT, Phase, Scratch, MinWord, MaxWord);
-      Patterns[static_cast<size_t>(Op) * NumPhases + Phase] =
-          emitPattern(Scratch, MinWord, MaxWord);
-    }
-  }
-
-  // Uniform-row mirror (see the member comment): linear mode only — modulo
-  // spans use absolute, wrapped word indices that the fixed-width kernels
-  // cannot pad safely. Machines whose spans never exceed two words skip the
-  // mirror entirely: their length branch is near-perfectly predicted
-  // already, and the row kernel's lane-extract overhead measured as a net
-  // loss there. Machines with spans wider than a row (fig1's widest) skip
-  // it too — a zero-padded row would under-report those spans.
-  UniformRows = false;
-  UniformPool.clear();
-  if (Config.Mode == QueryConfig::Linear) {
-    size_t MaxLen = 0;
-    for (const PatternRef &P : Patterns)
-      MaxLen = std::max<size_t>(MaxLen, P.DenseLen);
-    if (MaxLen >= 3 && MaxLen <= UniformWords) {
-      UniformRows = true;
-      UniformPool.assign(Patterns.size() * UniformWords, 0);
-      for (size_t I = 0; I < Patterns.size(); ++I)
-        for (size_t J = 0; J < Patterns[I].DenseLen; ++J)
-          UniformPool[I * UniformWords + J] =
-              MaskPool[Patterns[I].MaskBegin + J];
-    }
-  }
 }
 
 void BitvectorQueryModule::growWords(size_t WordCount) {
@@ -319,11 +213,10 @@ void BitvectorQueryModule::assignAndFree(OpId Op, int Cycle,
     unsigned Phase;
     locate(Cycle, WordBase, Phase);
     const PatternRef &P = pattern(Op, Phase);
-    if (!scanConflict(P, WordBase, Counters.AssignFreeUnits)) {
+    if (!scanConflict(P, WordBase, Counters.AssignFreeUnits, Masks, Prefix)) {
       size_t Base = WordBase + static_cast<size_t>(P.FirstWord);
       ensureWords(Base + P.DenseLen);
-      simd::orInto(Words.data() + Base, MaskPool.data() + P.MaskBegin,
-                   P.DenseLen);
+      simd::orInto(Words.data() + Base, Masks + P.MaskBegin, P.DenseLen);
       Log.push_back({Instance, Op, Cycle});
       ++LiveCount;
       return;
@@ -362,7 +255,8 @@ BitvectorQueryModule::unionPatternsFor(const std::vector<OpId> &Alternatives) {
   // Merge the member spans per phase: OR the dense masks into a
   // word-indexed scratch (the members are dense spans already, so this is
   // pure word arithmetic — the usages are never re-walked), then append
-  // the union span to the shared arena.
+  // the union span to the module-local union pools. Never to the per-op
+  // arena: it may be shared with concurrently querying modules.
   uint32_t Base = static_cast<uint32_t>(UnionRefs.size());
   std::vector<uint64_t> Scratch;
   for (unsigned Phase = 0; Phase < NumPhases; ++Phase) {
@@ -381,10 +275,11 @@ BitvectorQueryModule::unionPatternsFor(const std::vector<OpId> &Alternatives) {
         const PatternRef &P = pattern(Op, Phase);
         for (unsigned I = 0; I < P.DenseLen; ++I)
           Scratch[static_cast<size_t>(P.FirstWord) + I] |=
-              MaskPool[P.MaskBegin + I];
+              Masks[P.MaskBegin + I];
       }
     }
-    UnionRefs.push_back(emitPattern(Scratch, MinWord, MaxWord));
+    UnionRefs.push_back(emitBitvectorPattern(Scratch, MinWord, MaxWord,
+                                             UnionMasks, UnionPrefix));
   }
   UnionIndex.emplace(Alternatives, Base);
   return &UnionRefs[Base];
@@ -414,7 +309,8 @@ int BitvectorQueryModule::checkWithAlternatives(
   unsigned Phase;
   locate(Cycle, WordBase, Phase);
   const PatternRef *Union = unionPatternsFor(Alternatives);
-  if (!scanConflict(Union[Phase], WordBase, Counters.CheckUnits)) {
+  if (!scanConflict(Union[Phase], WordBase, Counters.CheckUnits,
+                    UnionMasks.data(), UnionPrefix.data())) {
     ++Counters.CheckCalls;
     return 0;
   }

@@ -9,18 +9,22 @@
 /// consecutive cycles are detected by one word operation, so one *work
 /// unit* is one word handled.
 ///
-/// Data layout: every (op, phase) pattern lives in one immutable,
-/// cache-aligned arena as a *dense span* — DenseLen consecutive mask words
-/// covering schedule words [FirstWord, FirstWord + DenseLen), interior
-/// words with no usage holding a zero mask. The hot loops are therefore
-/// straight-line masked-AND reductions over two contiguous arrays
-/// (reserved-table words and arena masks), vectorized via query/SimdOps.h.
-/// Work accounting is unchanged from the word-at-a-time formulation: a
-/// parallel prefix-count array recovers "nonempty words scanned up to the
-/// first conflict" exactly, and zero-mask filler words are never billed.
-/// Union patterns (check-with-alternatives fast path) are cached in the
-/// same arena. Modulo wrap-around is folded into the patterns at build
-/// time, so no per-word wrap handling survives in the query loops.
+/// Data layout: every (op, phase) pattern lives in an immutable,
+/// cache-aligned arena (query/PatternArena.h) as a *dense span* — DenseLen
+/// consecutive mask words covering schedule words [FirstWord, FirstWord +
+/// DenseLen), interior words with no usage holding a zero mask. The hot
+/// loops are therefore straight-line masked-AND reductions over two
+/// contiguous arrays (reserved-table words and arena masks), vectorized via
+/// query/SimdOps.h. Work accounting is unchanged from the word-at-a-time
+/// formulation: a parallel prefix-count array recovers "nonempty words
+/// scanned up to the first conflict" exactly, and zero-mask filler words
+/// are never billed. The arena is built once per (machine, addressing
+/// config) and may be shared read-only by any number of modules — the
+/// contention server hands every session over the same machine one arena.
+/// Union patterns (check-with-alternatives fast path) are cached in
+/// module-local pools so a shared arena is never written. Modulo
+/// wrap-around is folded into the patterns at build time, so no per-word
+/// wrap handling survives in the query loops.
 ///
 /// assign&free uses the paper's optimistic strategy: while no conflict has
 /// been seen, no per-resource owner fields are maintained and all functions
@@ -35,11 +39,13 @@
 #define RMD_QUERY_BITVECTORQUERY_H
 
 #include "query/InstanceTable.h"
+#include "query/PatternArena.h"
 #include "query/QueryModule.h"
 #include "query/SimdOps.h"
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
 #include <unordered_map>
 
 namespace rmd {
@@ -50,8 +56,16 @@ namespace rmd {
 class BitvectorQueryModule final : public ContentionQueryModule {
 public:
   /// \p MD must be expanded with numResources() <= Config.WordBits. The
-  /// module keeps a reference to \p MD; it must outlive the module.
+  /// module keeps a reference to \p MD; it must outlive the module. Builds
+  /// a private pattern arena.
   BitvectorQueryModule(const MachineDescription &MD, QueryConfig Config);
+
+  /// As above, but adopting \p SharedArena instead of building one —
+  /// \p SharedArena must satisfy compatibleWith(MD, Config). The arena is
+  /// only ever read, so one arena may back any number of concurrently
+  /// queried modules (one per server session, for instance).
+  BitvectorQueryModule(const MachineDescription &MD, QueryConfig Config,
+                       std::shared_ptr<const BitvectorPatternArena> SharedArena);
 
   // check/assign/free are defined inline below the class (with
   // always_inline: GCC otherwise leaves the bodies out of line even at
@@ -92,48 +106,29 @@ public:
   size_t reservedTableBytes() const { return Words.size() * sizeof(uint64_t); }
 
   /// Bytes of the packed pattern arena (masks, prefix counts, and span
-  /// table — per-op patterns plus any cached union patterns).
+  /// table — the per-op arena, shared or not, plus this module's cached
+  /// union patterns).
   size_t patternArenaBytes() const {
-    return (MaskPool.size() + UniformPool.size()) * sizeof(uint64_t) +
-           PrefixPool.size() * sizeof(uint16_t) +
-           (Patterns.size() + UnionRefs.size()) * sizeof(PatternRef);
+    return Arena->bytes() + UnionMasks.size() * sizeof(uint64_t) +
+           UnionPrefix.size() * sizeof(uint16_t) +
+           UnionRefs.size() * sizeof(PatternRef);
+  }
+
+  /// The immutable per-op pattern arena backing this module. Modules built
+  /// through the two-argument constructor own a private arena; the server
+  /// hands many modules one shared arena through the three-argument form.
+  const std::shared_ptr<const BitvectorPatternArena> &arena() const {
+    return Arena;
   }
 
 private:
-  /// One (op, phase) pattern: a dense span of DenseLen mask words in the
-  /// arena at MaskBegin, covering reserved-table words [FirstWord,
-  /// FirstWord + DenseLen) relative to the issue cycle's word in linear
-  /// mode (absolute in modulo mode). Nonempty counts the words with a
-  /// non-zero mask — the paper's work units for a full scan.
-  struct PatternRef {
-    /// For DenseLen == 1 — the dominant span class on small machines — the
-    /// single mask word is duplicated here, saving the dependent
-    /// MaskPool.data() -> mask load pair that would otherwise sit at the
-    /// bottom of every query's address chain.
-    uint64_t InlineMask = 0;
-    uint32_t MaskBegin = 0;
-    int32_t FirstWord = 0;
-    uint16_t DenseLen = 0;
-    uint16_t Nonempty = 0;
-  };
+  using PatternRef = BitvectorPatternRef;
+  static constexpr size_t UniformWords = BitvectorPatternArena::UniformWords;
+  static constexpr size_t UniformNarrow = BitvectorPatternArena::UniformNarrow;
 
   const PatternRef &pattern(OpId Op, unsigned Phase) const {
     return Patterns[static_cast<size_t>(Op) * NumPhases + Phase];
   }
-
-  void buildPatterns();
-
-  /// Accumulates one reservation table into \p Scratch (word-indexed masks)
-  /// for issue alignment \p Phase; extends [MinWord, MaxWord]. The modulo
-  /// wrap is applied here, at build time.
-  void bucketUsages(const ReservationTable &RT, unsigned Phase,
-                    std::vector<uint64_t> &Scratch, int &MinWord,
-                    int &MaxWord) const;
-
-  /// Appends \p Scratch's span [MinWord, MaxWord] to the arena and returns
-  /// its PatternRef; resets the touched Scratch words to zero.
-  PatternRef emitPattern(std::vector<uint64_t> &Scratch, int MinWord,
-                         int MaxWord);
 
   void ensureWords(size_t WordCount) {
     if (WordCount > Words.size())
@@ -161,8 +156,11 @@ private:
   /// billing \p Units exactly as the abort-on-first-conflict word loop
   /// did (out-of-range and zero-mask words conflict with nothing; scanned
   /// nonempty words are billed whether or not they conflict). Returns true
-  /// on contention.
-  bool scanConflict(const PatternRef &P, size_t WordBase, uint64_t &Units) {
+  /// on contention. \p PoolMasks/\p PoolPrefix are the pools \p P indexes
+  /// into: the shared arena's for per-op patterns, the module-local union
+  /// pools for union patterns.
+  bool scanConflict(const PatternRef &P, size_t WordBase, uint64_t &Units,
+                    const uint64_t *PoolMasks, const uint16_t *PoolPrefix) {
     // Words past the allocated table are empty and cannot conflict, but the
     // word-at-a-time loop still billed them; splitting the range keeps the
     // scan straight-line and the accounting identical.
@@ -170,7 +168,7 @@ private:
     if (P.DenseLen == 1) {
       // Single-word spans are branchless: the one word is nonempty by
       // construction, so the bill is one unit whether it conflicts or not
-      // (PrefixPool[MaskBegin] == Nonempty == 1), and the mask comes from
+      // (PoolPrefix[MaskBegin] == Nonempty == 1), and the mask comes from
       // the ref itself instead of the arena.
       Units += 1;
       return Base < Words.size() && (Words[Base] & P.InlineMask) != 0;
@@ -184,12 +182,12 @@ private:
       // pointers — so the compiler may keep counters in registers across
       // the word ops.
       const uint64_t *__restrict W = Words.data() + Base;
-      const uint64_t *__restrict M = MaskPool.data() + P.MaskBegin;
+      const uint64_t *__restrict M = PoolMasks + P.MaskBegin;
       ptrdiff_t Conflict = simd::firstConflict(W, M, InRange);
       if (Conflict >= 0) {
         // Bill the nonempty words scanned up to and including the conflict
         // (zero-mask filler words never conflict and are never billed).
-        Units += PrefixPool[P.MaskBegin + static_cast<size_t>(Conflict)];
+        Units += PoolPrefix[P.MaskBegin + static_cast<size_t>(Conflict)];
         return true;
       }
     }
@@ -229,8 +227,21 @@ private:
   const MachineDescription &MD;
   QueryConfig Config;
   size_t NumResources;
-  unsigned K;
-  unsigned NumPhases;
+
+  /// The immutable per-op pattern arena (possibly shared with other
+  /// modules; strictly read-only either way). The members below it mirror
+  /// the arena fields the hot loops touch: raw pointers and POD copies keep
+  /// every query one indirection from the data instead of two (module ->
+  /// arena -> pool), which is what the pre-arena layout compiled to.
+  std::shared_ptr<const BitvectorPatternArena> Arena;
+  const PatternRef *Patterns = nullptr; // Op * NumPhases + Phase
+  const uint64_t *Masks = nullptr;      // arena MaskPool
+  const uint16_t *Prefix = nullptr;     // arena PrefixPool
+  const uint64_t *Uniform = nullptr;    // arena UniformPool (row mirror)
+  const uint8_t *SelfConflict = nullptr; // modulo mode only
+  bool UniformRows = false;
+  unsigned K = 1;
+  unsigned NumPhases = 1;
 
   /// Reciprocal for the cycle→word split: ceil(2^38 / K). locate() and the
   /// cell helpers run on every query, and a runtime integer division by K
@@ -239,41 +250,14 @@ private:
   /// r < K stays under 1/K for all n < 2^38/64), and the hot paths never
   /// exceed 2^24 cycles anyway.
   uint64_t KReciprocal = 0;
-  static constexpr unsigned KReciprocalShift = 38;
+  static constexpr unsigned KReciprocalShift =
+      BitvectorPatternArena::KReciprocalShift;
 
   size_t divK(size_t N) const {
     if (N < (size_t(1) << 24))
       return (N * KReciprocal) >> KReciprocalShift;
     return N / K; // cold: cycle windows this deep never hit a bench
   }
-
-  /// The immutable packed pattern arena. MaskPool and PrefixPool are
-  /// parallel: PrefixPool[i] is the number of nonempty masks in the span
-  /// prefix ending at (and including) i. Union patterns append to the same
-  /// pools after construction; per-op spans never move.
-  std::vector<PatternRef> Patterns; // Op * NumPhases + Phase
-  simd::WordVector MaskPool;
-  std::vector<uint16_t> PrefixPool;
-
-  /// Uniform-row mirror of the per-op arena (linear mode, machines with
-  /// spans of three words or more): every (op, phase) pattern gets a row of
-  /// UniformWords mask words starting at its FirstWord, zero-padded past
-  /// DenseLen. The hot paths then run a fixed-width branchless kernel —
-  /// mixed span-length traffic was paying a near-certain length-class
-  /// mispredict per query (measured +1.5-3 ns on machines whose op mix
-  /// straddles the one-word boundary). A row is 64 bytes, so in the
-  /// cache-aligned pool every row occupies exactly one line; spans of up to
-  /// UniformNarrow words use the half-row kernel and touch only the line's
-  /// first half. Zero padding conflicts with nothing, and billing still
-  /// comes from Nonempty/PrefixPool, so Table 6 accounting is unchanged.
-  /// Machines with a span wider than a row (fig1) and two-word-max
-  /// machines (where the old branch predicts fine and the row kernel's
-  /// lane-extract overhead measured as a net loss) keep the
-  /// variable-length path; UniformRows is never set for them.
-  static constexpr size_t UniformWords = 8;
-  static constexpr size_t UniformNarrow = 4;
-  bool UniformRows = false;
-  simd::WordVector UniformPool; // Patterns.size() * UniformWords
 
   /// The reserved table: a flat span of packed words (linear mode grows it
   /// on demand; modulo mode sizes it to the II up front), cache-aligned so
@@ -310,8 +294,6 @@ private:
   std::vector<uint8_t> FlushState;
   std::vector<uint32_t> FlushLast;
 
-  std::vector<uint8_t> SelfConflict; // modulo mode only
-
   /// FNV-1a over an alternative group's op list. Groups are short (a
   /// handful of ids), so hashing one is a few multiplies — far cheaper
   /// than the O(log n) lexicographic vector comparisons an ordered map
@@ -328,13 +310,17 @@ private:
   };
 
   /// Cached union patterns per alternative group: the map yields an index
-  /// into UnionRefs, which holds NumPhases consecutive spans whose masks
-  /// live in the shared arena.
+  /// into UnionRefs, which holds NumPhases consecutive spans. Union masks
+  /// live in module-local pools (UnionMasks/UnionPrefix), never in the
+  /// per-op arena — the arena may be shared across threads and is
+  /// immutable by contract.
   std::unordered_map<std::vector<OpId>, uint32_t, OpListHash> UnionIndex;
   std::vector<PatternRef> UnionRefs;
+  simd::WordVector UnionMasks;
+  std::vector<uint16_t> UnionPrefix;
 
   /// The group's per-phase union spans (NumPhases entries), built and
-  /// cached in the arena on first use.
+  /// cached in the module-local union pools on first use.
   const PatternRef *unionPatternsFor(const std::vector<OpId> &Alternatives);
 };
 
@@ -360,7 +346,7 @@ BitvectorQueryModule::check(OpId Op, int Cycle) {
     // sits fully inside the table, so no clamping either; beyond-the-end
     // probes fall through to the general scan.
     const uint64_t *__restrict W = Words.data() + Base;
-    const uint64_t *__restrict M = UniformPool.data() + Idx * UniformWords;
+    const uint64_t *__restrict M = Uniform + Idx * UniformWords;
     uint64_t Hot = P.DenseLen <= UniformNarrow
                        ? simd::rowHot(W, M, UniformNarrow)
                        : simd::rowHot(W, M, UniformWords);
@@ -373,10 +359,10 @@ BitvectorQueryModule::check(OpId Op, int Cycle) {
     size_t I = 0;
     while (!(W[I] & M[I]))
       ++I;
-    Counters.CheckUnits += PrefixPool[P.MaskBegin + I];
+    Counters.CheckUnits += Prefix[P.MaskBegin + I];
     return false;
   }
-  return !scanConflict(P, WordBase, Counters.CheckUnits);
+  return !scanConflict(P, WordBase, Counters.CheckUnits, Masks, Prefix);
 }
 
 __attribute__((always_inline)) inline void
@@ -398,7 +384,7 @@ BitvectorQueryModule::assign(OpId Op, int Cycle, InstanceId Instance) {
     // while storing, so the assert costs no second scan.
     ensureWords(Base + UniformWords);
     uint64_t *__restrict W = Words.data() + Base;
-    const uint64_t *__restrict M = UniformPool.data() + Idx * UniformWords;
+    const uint64_t *__restrict M = Uniform + Idx * UniformWords;
     [[maybe_unused]] uint64_t Clash =
         P.DenseLen <= UniformNarrow
             ? simd::rowOrCheck(W, M, UniformNarrow)
@@ -416,7 +402,7 @@ BitvectorQueryModule::assign(OpId Op, int Cycle, InstanceId Instance) {
     // As above, but over the packed variable-length span. restrict: see
     // scanConflict.
     uint64_t *__restrict W = Words.data() + Base;
-    const uint64_t *__restrict M = MaskPool.data() + P.MaskBegin;
+    const uint64_t *__restrict M = Masks + P.MaskBegin;
     [[maybe_unused]] uint64_t Clash = simd::orIntoCheck(W, M, P.DenseLen);
     assert(!Clash && "assign over reserved resources; use assignAndFree");
   }
@@ -444,7 +430,7 @@ BitvectorQueryModule::free(OpId Op, int Cycle, InstanceId Instance) {
     // Fixed-width row (see check); the matching assign grew the table to
     // the padded width, so a live reservation's row is always in bounds.
     uint64_t *__restrict W = Words.data() + Base;
-    const uint64_t *__restrict M = UniformPool.data() + Idx * UniformWords;
+    const uint64_t *__restrict M = Uniform + Idx * UniformWords;
     if (P.DenseLen <= UniformNarrow)
       simd::rowAndNot(W, M, UniformNarrow);
     else
@@ -458,7 +444,7 @@ BitvectorQueryModule::free(OpId Op, int Cycle, InstanceId Instance) {
       InRange = std::min<size_t>(P.DenseLen, Words.size() - Base);
     if (InRange) {
       uint64_t *__restrict W = Words.data() + Base;
-      const uint64_t *__restrict M = MaskPool.data() + P.MaskBegin;
+      const uint64_t *__restrict M = Masks + P.MaskBegin;
       simd::andNotInto(W, M, InRange);
     }
   }

@@ -1,0 +1,128 @@
+//===- server/MachineRegistry.cpp -----------------------------------------===//
+
+#include "server/MachineRegistry.h"
+
+#include "query/BitvectorQuery.h"
+#include "query/DiscreteQuery.h"
+#include "reduce/ReductionCache.h"
+#include "support/Stats.h"
+
+using namespace rmd;
+using namespace rmd::server;
+
+LoadedMachine::LoadedMachine(std::string TheName, MachineModel TheModel)
+    : Name(std::move(TheName)), Model(std::move(TheModel)) {
+  EM = expandAlternatives(Model.MD);
+  // First rung of the degradation ladder: any reduction failure schedules
+  // against the original description (identical constraints, Theorem 1).
+  // Goes through the RMD_REDUCTION_CACHE environment cache when set.
+  SafeReduction Safe = reduceMachineOrFallback(EM.Flat);
+  Degraded = Safe.Degraded;
+  Why = Safe.Why;
+  Reduced = std::move(Safe.Result.Reduced);
+  UseBitvector = Reduced.numResources() <= QueryConfig().WordBits;
+}
+
+std::shared_ptr<const BitvectorPatternArena>
+LoadedMachine::arenaFor(const QueryConfig &Config) const {
+  ArenaKey Key{static_cast<int>(Config.Mode),
+               Config.Mode == QueryConfig::Modulo ? Config.ModuloII : 0,
+               Config.CyclesPerWordOverride};
+  std::lock_guard<std::mutex> Lock(ArenaMutex);
+  auto It = Arenas.find(Key);
+  if (It != Arenas.end()) {
+    static StatCounter ArenaHits("server.arena.hits");
+    ArenaHits.add();
+    return It->second;
+  }
+  static StatCounter ArenaBuilds("server.arena.builds");
+  ArenaBuilds.add();
+  auto Arena = buildBitvectorPatternArena(Reduced, Config);
+  Arenas.emplace(Key, Arena);
+  return Arena;
+}
+
+std::unique_ptr<ContentionQueryModule>
+LoadedMachine::makeModule(const QueryConfig &Config) const {
+  if (UseBitvector)
+    return std::make_unique<BitvectorQueryModule>(Reduced, Config,
+                                                  arenaFor(Config));
+  return std::make_unique<DiscreteQueryModule>(Reduced, Config);
+}
+
+const std::vector<std::string> &MachineRegistry::knownMachines() {
+  static const std::vector<std::string> Names = {
+      "fig1",     "cydra5",  "alpha21064", "mips-r3000",
+      "toy-vliw", "playdoh", "m88100"};
+  return Names;
+}
+
+static Expected<MachineModel> modelByName(const std::string &Name) {
+  if (Name == "fig1") {
+    // Fig. 1 ships as a bare description; give it unit latencies and
+    // generic roles so schedule-loop requests can still name its ops.
+    MachineModel Model;
+    Model.MD = makeFig1Machine();
+    Model.Latency.assign(Model.MD.numOperations(), 1);
+    Model.Role.assign(Model.MD.numOperations(), OpRole::IntAlu);
+    return Model;
+  }
+  if (Name == "cydra5")
+    return makeCydra5();
+  if (Name == "alpha21064")
+    return makeAlpha21064();
+  if (Name == "mips-r3000")
+    return makeMipsR3000();
+  if (Name == "toy-vliw")
+    return makeToyVliw();
+  if (Name == "playdoh")
+    return makePlayDoh();
+  if (Name == "m88100")
+    return makeM88100();
+  std::string Known;
+  for (const std::string &N : MachineRegistry::knownMachines()) {
+    if (!Known.empty())
+      Known += ", ";
+    Known += N;
+  }
+  return Status(ErrorCode::ProtocolError,
+                "unknown machine '" + Name + "' (known: " + Known + ")");
+}
+
+Expected<const LoadedMachine *> MachineRegistry::load(const std::string &Name) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = IdByName.find(Name);
+    if (It != IdByName.end())
+      return const_cast<const LoadedMachine *>(
+          Machines[It->second - 1].get());
+  }
+  // Build outside the lock: reduction is seconds-scale on big machines and
+  // must not stall unrelated lookups. A racing load of the same name is
+  // resolved below (first registration wins; the loser's work is dropped).
+  Expected<MachineModel> Model = modelByName(Name);
+  if (!Model)
+    return Model.status();
+  auto Built = std::make_unique<LoadedMachine>(Name, std::move(Model.value()));
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = IdByName.find(Name);
+  if (It != IdByName.end())
+    return const_cast<const LoadedMachine *>(Machines[It->second - 1].get());
+  Built->Id = static_cast<uint32_t>(Machines.size()) + 1;
+  IdByName.emplace(Name, Built->Id);
+  Machines.push_back(std::move(Built));
+  return const_cast<const LoadedMachine *>(Machines.back().get());
+}
+
+const LoadedMachine *MachineRegistry::byId(uint32_t Id) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Id == 0 || Id > Machines.size())
+    return nullptr;
+  return Machines[Id - 1].get();
+}
+
+size_t MachineRegistry::size() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Machines.size();
+}
+

@@ -1,0 +1,85 @@
+//===- server/Workload.cpp ------------------------------------------------===//
+
+#include "server/Workload.h"
+
+#include "query/BitvectorQuery.h"
+#include "query/DiscreteQuery.h"
+
+#include <cassert>
+
+using namespace rmd;
+using namespace rmd::server;
+using namespace rmd::wire;
+
+WorkloadGenerator::WorkloadGenerator(const MachineDescription &Reduced,
+                                     const QueryConfig &TheConfig,
+                                     uint64_t Seed, int TheSpan)
+    : Config(TheConfig), Span(TheSpan), RngState(Seed ? Seed : 1) {
+  // Mirror the server's representation choice so counters line up.
+  if (Reduced.numResources() <= Config.WordBits)
+    Module = std::make_unique<BitvectorQueryModule>(Reduced, Config);
+  else
+    Module = std::make_unique<DiscreteQueryModule>(Reduced, Config);
+  for (OpId Op = 0; Op < Reduced.numOperations(); ++Op) {
+    if (Config.Mode == QueryConfig::Modulo &&
+        hasModuloSelfConflict(Reduced.operation(Op).table(), Config.ModuloII))
+      continue;
+    Candidates.push_back(Op);
+  }
+  assert(!Candidates.empty() && "every operation self-conflicts at this II");
+}
+
+WorkloadGenerator::~WorkloadGenerator() = default;
+
+uint64_t WorkloadGenerator::next() {
+  // splitmix64: tiny, seedable, identical on every platform.
+  uint64_t Z = (RngState += 0x9e3779b97f4a7c15ull);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+void WorkloadGenerator::nextBatch(size_t N,
+                                  std::vector<wire::BatchEvent> &Events,
+                                  std::vector<uint8_t> &Expected) {
+  const bool Modulo = Config.Mode == QueryConfig::Modulo;
+  const int CycleBase = Modulo ? 0 : Config.MinCycle;
+  const int CycleSpan = Modulo ? Config.ModuloII : Span;
+  for (size_t I = 0; I < N; ++I) {
+    BatchEvent E;
+    uint64_t Roll = next() % 100;
+    if (Roll < 30 && !Live.empty()) {
+      // Free a uniformly chosen live placement (swap-pop keeps it O(1)).
+      size_t Idx = next() % Live.size();
+      LivePlacement P = Live[Idx];
+      Live[Idx] = Live.back();
+      Live.pop_back();
+      E.TheVerb = Verb::Free;
+      E.Op = P.Op;
+      E.Cycle = P.Cycle;
+      E.Instance = P.Instance;
+      Module->free(P.Op, P.Cycle, P.Instance);
+      Events.push_back(E);
+      Expected.push_back(kResultDone);
+      continue;
+    }
+    E.Op = static_cast<uint32_t>(Candidates[next() % Candidates.size()]);
+    E.Cycle = CycleBase + static_cast<int>(next() % CycleSpan);
+    if (Roll < 60) {
+      E.TheVerb = Verb::Check;
+      E.Instance = 0;
+      Expected.push_back(Module->check(E.Op, E.Cycle) ? 1 : 0);
+    } else {
+      E.TheVerb = Verb::CheckAssign;
+      E.Instance = NextInstance++;
+      if (Module->check(E.Op, E.Cycle)) {
+        Module->assign(E.Op, E.Cycle, E.Instance);
+        Live.push_back({static_cast<OpId>(E.Op), E.Cycle, E.Instance});
+        Expected.push_back(1);
+      } else {
+        Expected.push_back(0);
+      }
+    }
+    Events.push_back(E);
+  }
+}

@@ -1,0 +1,78 @@
+//===- server/Workload.h - Seeded valid query workloads --------*- C++ -*-===//
+///
+/// \file
+/// Deterministic batch-event generator for the differential concurrency
+/// test and the throughput bench. The generator owns a *local* query
+/// module (a private mirror of what the server builds for the same
+/// machine and config) and simulates every event against it before
+/// emitting it, so the stream is valid by construction: frees name live
+/// instances, assigns only follow successful checks, and modulo
+/// self-conflicting operations are never placed. Because simulation and
+/// emission use the same module API the server calls, the local module's
+/// WorkCounters and occupancy are the bit-identical reference for the
+/// server session fed the same seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMD_SERVER_WORKLOAD_H
+#define RMD_SERVER_WORKLOAD_H
+
+#include "mdesc/MachineDescription.h"
+#include "query/QueryModule.h"
+#include "server/Protocol.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace rmd {
+namespace server {
+
+class WorkloadGenerator {
+public:
+  /// \p Reduced is the (already reduced) description the server schedules
+  /// against — clients obtain the same one deterministically because
+  /// reduction is deterministic per machine. \p Span bounds the cycle
+  /// range: linear events land in [MinCycle, MinCycle + Span), modulo
+  /// events in [0, II).
+  WorkloadGenerator(const MachineDescription &Reduced,
+                    const QueryConfig &Config, uint64_t Seed, int Span = 64);
+  ~WorkloadGenerator();
+
+  /// Appends \p N events to \p Events and the result byte the server must
+  /// produce for each to \p Expected (same indexing).
+  void nextBatch(size_t N, std::vector<wire::BatchEvent> &Events,
+                 std::vector<uint8_t> &Expected);
+
+  /// The local mirror module — the ground truth a server session fed the
+  /// same stream must match exactly.
+  const ContentionQueryModule &module() const { return *Module; }
+
+  /// Mutable access for callers extending the stream by hand (e.g. the
+  /// differential test's occupancy probe, which must run the same checks
+  /// locally that it sends to the server).
+  ContentionQueryModule &mutableModule() { return *Module; }
+
+  uint64_t liveInstances() const { return Live.size(); }
+
+private:
+  uint64_t next();
+
+  QueryConfig Config;
+  int Span;
+  std::unique_ptr<ContentionQueryModule> Module;
+  std::vector<OpId> Candidates; ///< ops legal to assign (no self-conflict)
+  struct LivePlacement {
+    OpId Op;
+    int Cycle;
+    int Instance;
+  };
+  std::vector<LivePlacement> Live;
+  uint64_t RngState;
+  int NextInstance = 1;
+};
+
+} // namespace server
+} // namespace rmd
+
+#endif // RMD_SERVER_WORKLOAD_H

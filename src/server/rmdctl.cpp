@@ -1,0 +1,144 @@
+//===- server/rmdctl.cpp - Control CLI for rmdserved ----------------------===//
+//
+// Small operator front end for the contention-query server:
+//
+//   rmdctl --socket=<path|@name> ping
+//   rmdctl --socket=<path|@name> load <machine>
+//   rmdctl --socket=<path|@name> stats
+//   rmdctl --socket=<path|@name> schedule <machine> [loop.graph | -]
+//   rmdctl --socket=<path|@name> shutdown
+//
+// Exit status 0 on success; structured server errors print as
+// "code: message" and exit 1.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Client.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace rmd;
+using namespace rmd::server;
+using namespace rmd::wire;
+
+static void usage() {
+  std::cerr
+      << "usage: rmdctl --socket=<path|@name> "
+         "(ping | load <machine> | stats | schedule <machine> [loop.graph | -]"
+         " | shutdown)\n";
+}
+
+static int fail(const Status &S) {
+  std::cerr << "rmdctl: " << S.render() << "\n";
+  return 1;
+}
+
+int main(int Argc, char **Argv) {
+  std::string Socket;
+  std::vector<std::string> Args;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--socket=", 0) == 0)
+      Socket = Arg.substr(sizeof("--socket=") - 1);
+    else if (Arg == "--help") {
+      usage();
+      return 0;
+    } else
+      Args.push_back(Arg);
+  }
+  if (Socket.empty() || Args.empty()) {
+    usage();
+    return 1;
+  }
+
+  Expected<std::unique_ptr<RmdClient>> Client =
+      RmdClient::connect(Socket, /*RecvTimeoutMs=*/30000);
+  if (!Client)
+    return fail(Client.status());
+  RmdClient &C = *Client.value();
+
+  const std::string &Cmd = Args[0];
+  if (Cmd == "ping") {
+    if (Status S = C.ping(); !S)
+      return fail(S);
+    std::cout << "ok\n";
+    return 0;
+  }
+  if (Cmd == "load") {
+    if (Args.size() != 2) {
+      usage();
+      return 1;
+    }
+    Expected<LoadMachineReply> R = C.loadMachine(Args[1]);
+    if (!R)
+      return fail(R.status());
+    std::cout << "machine " << Args[1] << ": id " << R.value().MachineId
+              << ", " << R.value().NumOperations << " ops, "
+              << R.value().OriginalResources << " -> "
+              << R.value().ReducedResources << " resources ("
+              << (R.value().Bitvector ? "bitvector" : "discrete")
+              << (R.value().Degraded ? ", degraded" : "") << ")\n";
+    return 0;
+  }
+  if (Cmd == "stats") {
+    Expected<StatsReply> R = C.serverStats();
+    if (!R)
+      return fail(R.status());
+    const ServerStats &S = R.value().Server;
+    std::cout << "sessions:         " << S.ActiveSessions << "\n"
+              << "machines:         " << S.MachinesLoaded << "\n"
+              << "requests:         " << S.RequestsServed << "\n"
+              << "overloaded:       " << S.OverloadRejections << "\n"
+              << "protocol errors:  " << S.ProtocolErrors << "\n";
+    return 0;
+  }
+  if (Cmd == "schedule") {
+    if (Args.size() < 2 || Args.size() > 3) {
+      usage();
+      return 1;
+    }
+    Expected<LoadMachineReply> M = C.loadMachine(Args[1]);
+    if (!M)
+      return fail(M.status());
+    std::ostringstream Text;
+    if (Args.size() == 3 && Args[2] != "-") {
+      std::ifstream In(Args[2]);
+      if (!In)
+        return fail(Status(ErrorCode::CacheIO,
+                           "cannot open loop graph '" + Args[2] + "'"));
+      Text << In.rdbuf();
+    } else {
+      Text << std::cin.rdbuf();
+    }
+    ScheduleLoopRequest Req;
+    Req.MachineId = M.value().MachineId;
+    Req.GraphText = Text.str();
+    Expected<ScheduleLoopReply> R = C.scheduleLoop(Req);
+    if (!R)
+      return fail(R.status());
+    const ScheduleLoopReply &Reply = R.value();
+    if (!Reply.Success) {
+      std::cerr << "rmdctl: scheduling failed (outcome "
+                << int(Reply.Outcome) << "): " << Reply.Message << "\n";
+      return 1;
+    }
+    std::cout << "II " << Reply.II << "\n";
+    for (size_t I = 0; I < Reply.Time.size(); ++I) {
+      std::cout << "node " << I << ": cycle " << Reply.Time[I];
+      if (I < Reply.Alternative.size() && Reply.Alternative[I] >= 0)
+        std::cout << " alt " << Reply.Alternative[I];
+      std::cout << "\n";
+    }
+    return 0;
+  }
+  if (Cmd == "shutdown") {
+    if (Status S = C.shutdownServer(); !S)
+      return fail(S);
+    std::cout << "ok\n";
+    return 0;
+  }
+  usage();
+  return 1;
+}

@@ -1,0 +1,92 @@
+//===- server/rmdserved.cpp - Contention-query server daemon --------------===//
+//
+// Scheduling as a service: serves contention queries and schedule-loop
+// requests for many concurrent clients over a local stream socket
+// (rmd-wire-v1; docs/server.md).
+//
+// Usage:
+//   rmdserved [--socket=<path|@name>] [--workers=<n>] [--queue=<n>]
+//             [--faults=<spec>] [--stats-json=<file>]
+//
+// The default socket is an abstract-namespace name derived from the pid
+// (printed on startup), so tests and benches never leave socket files
+// behind. The daemon runs until a client sends Shutdown or it receives
+// SIGINT/SIGTERM.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Server.h"
+#include "support/FaultInjection.h"
+#include "support/Stats.h"
+
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+
+using namespace rmd;
+using namespace rmd::server;
+
+static RmdServer *ActiveServer = nullptr;
+
+static void onSignal(int) {
+  // Just flip the stop flag via the public API's signal-safe subset:
+  // stop() joins threads and must not run in a handler, so request
+  // shutdown and let main() do the teardown.
+  if (ActiveServer)
+    ActiveServer->requestShutdownAsync();
+}
+
+static void usage() {
+  std::cerr << "usage: rmdserved [--socket=<path|@name>] [--workers=<n>] "
+               "[--queue=<n>] [--faults=<spec>] [--stats-json=<file>]\n";
+}
+
+int main(int Argc, char **Argv) {
+  StatsJsonGuard StatsJson(Argc, Argv, "rmdserved");
+  ServerOptions Options;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--socket=", 0) == 0) {
+      Options.SocketPath = Arg.substr(sizeof("--socket=") - 1);
+    } else if (Arg.rfind("--workers=", 0) == 0) {
+      Options.Workers =
+          static_cast<unsigned>(std::atoi(Arg.c_str() + sizeof("--workers=") - 1));
+    } else if (Arg.rfind("--queue=", 0) == 0) {
+      Options.QueueCapacity =
+          static_cast<size_t>(std::atol(Arg.c_str() + sizeof("--queue=") - 1));
+    } else if (Arg.rfind("--faults=", 0) == 0) {
+      Status S = FaultInjection::instance().configure(
+          Arg.substr(sizeof("--faults=") - 1));
+      if (!S) {
+        std::cerr << "rmdserved: " << S.render() << "\n";
+        return 1;
+      }
+    } else {
+      usage();
+      return Arg == "--help" ? 0 : 1;
+    }
+  }
+
+  Expected<std::unique_ptr<RmdServer>> Server =
+      RmdServer::start(std::move(Options));
+  if (!Server) {
+    std::cerr << "rmdserved: " << Server.status().render() << "\n";
+    return 1;
+  }
+  ActiveServer = Server.value().get();
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+
+  std::cout << "rmdserved: listening on " << Server.value()->socketPath()
+            << " (" << Server.value()->workerCount() << " workers, queue "
+            << Server.value()->queueCapacity() << ")" << std::endl;
+
+  Server.value()->waitForShutdown();
+  Server.value()->stop();
+  std::cout << "rmdserved: served " << Server.value()->requestsServed()
+            << " requests (" << Server.value()->overloadRejections()
+            << " overloaded, " << Server.value()->protocolErrors()
+            << " protocol errors)" << std::endl;
+  ActiveServer = nullptr;
+  return 0;
+}

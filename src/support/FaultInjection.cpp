@@ -19,7 +19,8 @@ const std::vector<const char *> &FaultInjection::registeredPoints() {
       faultpoints::CacheRead,      faultpoints::CacheWrite,
       faultpoints::MdlParse,       faultpoints::ThreadPoolTask,
       faultpoints::AutomatonCap,   faultpoints::ReduceVerify,
-      faultpoints::SchedDeadline,
+      faultpoints::SchedDeadline,  faultpoints::ServerAccept,
+      faultpoints::ServerEnqueue,  faultpoints::ServerSessionAlloc,
   };
   return Names;
 }

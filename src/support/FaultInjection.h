@@ -61,6 +61,15 @@ inline constexpr const char *AutomatonCap = "automaton.cap";
 inline constexpr const char *ReduceVerify = "reduce.verify";
 /// The schedulers' deadline check behaves as if the deadline expired.
 inline constexpr const char *SchedDeadline = "sched.deadline";
+/// RmdServer's accept loop behaves as if accept() failed; the connection
+/// attempt is dropped and the loop keeps serving.
+inline constexpr const char *ServerAccept = "server.accept";
+/// RmdServer's request enqueue behaves as if the bounded queue was full;
+/// the client receives a structured Overloaded error.
+inline constexpr const char *ServerEnqueue = "server.enqueue";
+/// RmdServer's open-session path behaves as if session allocation failed;
+/// the client receives a structured error and no session is registered.
+inline constexpr const char *ServerSessionAlloc = "server.session_alloc";
 } // namespace faultpoints
 
 /// Process-wide fault-point registry; see the file comment for the spec

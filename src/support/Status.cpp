@@ -28,6 +28,10 @@ const char *rmd::errorCodeName(ErrorCode Code) {
     return "role-unresolved";
   case ErrorCode::FaultInjected:
     return "fault-injected";
+  case ErrorCode::Overloaded:
+    return "overloaded";
+  case ErrorCode::ProtocolError:
+    return "protocol-error";
   }
   return "unknown";
 }

@@ -50,6 +50,12 @@ enum class ErrorCode {
   RoleUnresolved,
   /// A deterministically injected fault (support/FaultInjection.h).
   FaultInjected,
+  /// A server rejected work because its bounded request queue was full.
+  /// Explicit backpressure: the client should retry later or shed load.
+  Overloaded,
+  /// A malformed, truncated, or version-mismatched wire frame, or a
+  /// request referencing an unknown machine/session handle.
+  ProtocolError,
 };
 
 /// Stable lowercase name of \p Code ("verification-failed", ...), for

@@ -20,6 +20,8 @@
 #include "sched/IterativeModuloScheduler.h"
 #include "sched/MII.h"
 #include "sched/OperationDrivenScheduler.h"
+#include "server/Client.h"
+#include "server/Server.h"
 #include "support/Deadline.h"
 #include "support/Degradation.h"
 #include "support/FaultInjection.h"
@@ -27,8 +29,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 #include <stdexcept>
+#include <unistd.h>
 
 using namespace rmd;
 
@@ -49,7 +53,69 @@ struct PipelineOutcome {
   bool ParseFailed = false;   ///< parseMdl reported an error (clean)
   bool Degraded = false;      ///< reduce fell back to the original
   ModuloScheduleResult R;     ///< scheduling result (when parse succeeded)
+  /// The in-process server round-trip: ok, or the structured error the
+  /// client saw. Never an abort, never a hang (the client arms a recv
+  /// timeout so a dispatcher wedged by threadpool.task degrades to
+  /// TimedOut).
+  Status ServerStatus;
+  bool ServerLeakedSessions = false; ///< sessions outlived their teardown
 };
+
+std::string uniqueFaultSocket() {
+  static std::atomic<int> Counter{0};
+  return "@rmd-fault-" + std::to_string(::getpid()) + "-" +
+         std::to_string(Counter.fetch_add(1));
+}
+
+/// One client round-trip against a fresh in-process server: load fig1,
+/// open a session, run a small batch, close. Puts server.accept,
+/// server.enqueue, and server.session_alloc on the sweep path; every
+/// armed-fault outcome must be a structured Status, and no session may
+/// survive the teardown.
+void runServerRoundTrip(PipelineOutcome &Out) {
+  using namespace rmd::server;
+  using namespace rmd::wire;
+
+  ServerOptions Options;
+  Options.SocketPath = uniqueFaultSocket();
+  Options.Workers = 1;
+  Options.QueueCapacity = 4;
+  Expected<std::unique_ptr<RmdServer>> Server =
+      RmdServer::start(std::move(Options));
+  if (!Server) {
+    Out.ServerStatus = Server.status();
+    return;
+  }
+
+  Out.ServerStatus = [&]() -> Status {
+    Expected<std::unique_ptr<RmdClient>> Client =
+        RmdClient::connect(Server.value()->socketPath(),
+                           /*RecvTimeoutMs=*/2000);
+    if (!Client)
+      return Client.status();
+    RmdClient &C = *Client.value();
+    Expected<LoadMachineReply> M = C.loadMachine("fig1");
+    if (!M)
+      return M.status();
+    OpenSessionRequest OpenReq;
+    OpenReq.MachineId = M.value().MachineId;
+    Expected<OpenSessionReply> Open = C.openSession(OpenReq);
+    if (!Open)
+      return Open.status();
+    BatchRequest Batch;
+    Batch.SessionId = Open.value().SessionId;
+    Batch.Events.push_back({Verb::Check, 0, 0, 0});
+    Batch.Events.push_back({Verb::CheckAssign, 0, 0, 1});
+    Batch.Events.push_back({Verb::Reset, 0, 0, 0});
+    Expected<BatchReply> R = C.runBatch(Batch);
+    if (!R)
+      return R.status();
+    return C.closeSession(Open.value().SessionId);
+  }();
+
+  Server.value()->stop();
+  Out.ServerLeakedSessions = Server.value()->sessionCount() != 0;
+}
 
 /// Parse -> expand -> reduce (through a cache in \p CacheDir, verified,
 /// two threads) -> modulo-schedule a 3-node loop. Also touches the
@@ -96,6 +162,8 @@ PipelineOutcome runPipeline(const std::string &CacheDir) {
         new DiscreteQueryModule(Reduced, C));
   };
   Out.R = moduloSchedule(G, *MD, Env, {});
+
+  runServerRoundTrip(Out);
   return Out;
 }
 
@@ -104,6 +172,16 @@ PipelineOutcome runPipeline(const std::string &CacheDir) {
 void expectRecoveryOrCleanError(const PipelineOutcome &Got,
                                 const PipelineOutcome &Baseline,
                                 const std::string &Spec) {
+  // The server rungs: whatever the fault did to the round-trip, the
+  // client saw either success or a structured error (a Status with a
+  // nonzero code — never a hang past its timeout, and the harness
+  // completing at all rules out an abort), and teardown closed every
+  // session.
+  EXPECT_FALSE(Got.ServerLeakedSessions) << Spec;
+  if (!Got.ServerStatus.isOk())
+    EXPECT_FALSE(Got.ServerStatus.message().empty())
+        << Spec << ": structured errors carry a message";
+
   if (Got.ParseFailed)
     return; // the mdl.parse rung: a clean diagnostic, nothing scheduled
   if (Got.R.Outcome == ScheduleOutcome::TimedOut ||
@@ -235,6 +313,7 @@ TEST_F(FaultInjectionTest, EveryPointAloneRecoversOrFailsCleanly) {
   PipelineOutcome Baseline = runPipeline(Dir + "/base");
   ASSERT_TRUE(Baseline.R.Success);
   ASSERT_FALSE(Baseline.Degraded);
+  ASSERT_TRUE(Baseline.ServerStatus.isOk()) << Baseline.ServerStatus.render();
 
   for (const char *Point : FaultInjection::registeredPoints()) {
     std::string PointDir = Dir + "/" + Point;
@@ -521,6 +600,99 @@ TEST_F(FaultInjectionTest, SchedulerRejectsInfeasibleRecurrence) {
   EXPECT_EQ(R.Outcome, ScheduleOutcome::InfeasibleRecurrence);
   EXPECT_EQ(R.Error.code(), ErrorCode::InfeasibleRecurrence);
   EXPECT_EQ(R.Stats.Degradation.InfeasibleRecurrences, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// The server rungs, individually
+//===----------------------------------------------------------------------===//
+
+TEST_F(FaultInjectionTest, ServerAcceptFaultDropsConnectionCleanly) {
+  using namespace rmd::server;
+  ServerOptions Options;
+  Options.SocketPath = uniqueFaultSocket();
+  Options.Workers = 1;
+  Expected<std::unique_ptr<RmdServer>> Server =
+      RmdServer::start(std::move(Options));
+  ASSERT_TRUE(bool(Server)) << Server.status().render();
+
+  ASSERT_TRUE(FaultInjection::instance()
+                  .configure(faultpoints::ServerAccept)
+                  .isOk());
+  // The kernel completes the connect; the server drops the socket before a
+  // reader ever starts. The client's first request surfaces a structured
+  // error, not a hang.
+  Expected<std::unique_ptr<RmdClient>> C =
+      RmdClient::connect(Server.value()->socketPath(), 2000);
+  ASSERT_TRUE(bool(C));
+  Status S = C.value()->ping();
+  EXPECT_FALSE(S.isOk());
+  EXPECT_GT(FaultInjection::instance().fired(faultpoints::ServerAccept), 0u);
+  FaultInjection::instance().reset();
+
+  // Disarmed, the very same server serves the next connection normally.
+  Expected<std::unique_ptr<RmdClient>> C2 =
+      RmdClient::connect(Server.value()->socketPath(), 2000);
+  ASSERT_TRUE(bool(C2));
+  EXPECT_TRUE(C2.value()->ping().isOk());
+}
+
+TEST_F(FaultInjectionTest, ServerEnqueueFaultAnswersOverloadedOnce) {
+  using namespace rmd::server;
+  ServerOptions Options;
+  Options.SocketPath = uniqueFaultSocket();
+  Options.Workers = 1;
+  Expected<std::unique_ptr<RmdServer>> Server =
+      RmdServer::start(std::move(Options));
+  ASSERT_TRUE(bool(Server)) << Server.status().render();
+
+  Expected<std::unique_ptr<RmdClient>> C =
+      RmdClient::connect(Server.value()->socketPath(), 2000);
+  ASSERT_TRUE(bool(C));
+  ASSERT_TRUE(C.value()->ping().isOk()); // reader up and serving
+
+  // Exactly the first enqueue behaves as queue-full: that request gets a
+  // structured Overloaded reply, the next one goes through untouched.
+  ASSERT_TRUE(FaultInjection::instance()
+                  .configure(std::string(faultpoints::ServerEnqueue) + ":1")
+                  .isOk());
+  Status S = C.value()->ping();
+  FaultInjection::instance().reset();
+  EXPECT_EQ(S.code(), ErrorCode::Overloaded) << S.render();
+  EXPECT_EQ(Server.value()->overloadRejections(), 1u);
+  EXPECT_TRUE(C.value()->ping().isOk());
+}
+
+TEST_F(FaultInjectionTest, ServerSessionAllocFaultLeaksNothing) {
+  using namespace rmd::server;
+  using namespace rmd::wire;
+  ServerOptions Options;
+  Options.SocketPath = uniqueFaultSocket();
+  Options.Workers = 1;
+  Expected<std::unique_ptr<RmdServer>> Server =
+      RmdServer::start(std::move(Options));
+  ASSERT_TRUE(bool(Server)) << Server.status().render();
+
+  Expected<std::unique_ptr<RmdClient>> C =
+      RmdClient::connect(Server.value()->socketPath(), 2000);
+  ASSERT_TRUE(bool(C));
+  Expected<LoadMachineReply> M = C.value()->loadMachine("fig1");
+  ASSERT_TRUE(bool(M));
+
+  ASSERT_TRUE(FaultInjection::instance()
+                  .configure(faultpoints::ServerSessionAlloc)
+                  .isOk());
+  OpenSessionRequest Req;
+  Req.MachineId = M.value().MachineId;
+  Expected<OpenSessionReply> Open = C.value()->openSession(Req);
+  FaultInjection::instance().reset();
+  ASSERT_FALSE(bool(Open));
+  EXPECT_EQ(Open.status().code(), ErrorCode::FaultInjected);
+  EXPECT_EQ(Server.value()->sessionCount(), 0u); // nothing half-registered
+
+  // And the path works once disarmed.
+  Expected<OpenSessionReply> Open2 = C.value()->openSession(Req);
+  ASSERT_TRUE(bool(Open2)) << Open2.status().render();
+  EXPECT_EQ(Server.value()->sessionCount(), 1u);
 }
 
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,331 @@
+//===- tests/ServerConcurrencyTest.cpp - N-client differential test -------===//
+//
+// The multi-tenant guarantee, tested differentially: N concurrent clients
+// each stream a seeded workload to the server AND through a private local
+// query module (server/Workload.h). Reduction is deterministic, so the
+// local module is built over the same reduced description the server
+// serves from its shared pattern arena — every per-event result, the
+// final WorkCounters, and a full occupancy probe grid must match
+// bit-identically at 1, 4, and 16 clients. Any cross-session bleed
+// through the shared arena, a lock dropped around session state, or a
+// reordering in the worker pool shows up as a mismatch.
+//
+// Runs under the tsan preset (label "server") to catch data races the
+// differential comparison alone cannot see.
+//
+//===----------------------------------------------------------------------===//
+
+#include "machines/MachineModel.h"
+#include "query/QueryModule.h"
+#include "reduce/Reduction.h"
+#include "reduce/ReductionCache.h"
+#include "server/Client.h"
+#include "server/Server.h"
+#include "server/Workload.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <unistd.h>
+#include <thread>
+#include <vector>
+
+using namespace rmd;
+using namespace rmd::server;
+using namespace rmd::wire;
+
+namespace {
+
+std::string uniqueSocket(const char *Tag) {
+  static std::atomic<int> Counter{0};
+  return std::string("@rmd-test-") + Tag + "-" +
+         std::to_string(::getpid()) + "-" +
+         std::to_string(Counter.fetch_add(1));
+}
+
+/// The client-side mirror of the server's load path: same expansion, same
+/// reduction (deterministic), so local modules see the same description.
+MachineDescription reducedFor(const MachineModel &Model) {
+  ExpandedMachine EM = expandAlternatives(Model.MD);
+  SafeReduction Safe = reduceMachineOrFallback(EM.Flat);
+  return std::move(Safe.Result.Reduced);
+}
+
+struct ClientOutcome {
+  bool Ok = false;
+  std::string What;
+};
+
+/// One tenant: streams Batches batches of BatchLen seeded events, checks
+/// every result byte against the local mirror, then the counters, then an
+/// occupancy probe over every (op, cycle) in the window.
+void runTenant(const std::string &Socket, const std::string &MachineName,
+               const MachineDescription &Reduced, const QueryConfig &Config,
+               uint64_t Seed, size_t Batches, size_t BatchLen,
+               ClientOutcome &Out) {
+  auto Fail = [&Out](std::string What) {
+    Out.Ok = false;
+    Out.What = std::move(What);
+  };
+
+  Expected<std::unique_ptr<RmdClient>> Client =
+      RmdClient::connect(Socket, /*RecvTimeoutMs=*/300000);
+  if (!Client)
+    return Fail("connect: " + Client.status().render());
+  RmdClient &C = *Client.value();
+
+  Expected<LoadMachineReply> M = C.loadMachine(MachineName);
+  if (!M)
+    return Fail("load: " + M.status().render());
+
+  OpenSessionRequest OpenReq;
+  OpenReq.MachineId = M.value().MachineId;
+  OpenReq.Modulo = Config.Mode == QueryConfig::Modulo ? 1 : 0;
+  OpenReq.ModuloII = Config.ModuloII;
+  OpenReq.MinCycle = Config.MinCycle;
+  OpenReq.Tenant = "tenant-" + std::to_string(Seed);
+  Expected<OpenSessionReply> Open = C.openSession(OpenReq);
+  if (!Open)
+    return Fail("open: " + Open.status().render());
+  uint32_t SessionId = Open.value().SessionId;
+
+  WorkloadGenerator Gen(Reduced, Config, Seed);
+  std::vector<BatchEvent> Events;
+  std::vector<uint8_t> Want;
+  for (size_t B = 0; B < Batches; ++B) {
+    Events.clear();
+    Want.clear();
+    Gen.nextBatch(BatchLen, Events, Want);
+    BatchRequest Req;
+    Req.SessionId = SessionId;
+    Req.Events = Events;
+    Expected<BatchReply> Reply = C.runBatch(Req);
+    if (!Reply)
+      return Fail("batch " + std::to_string(B) + ": " +
+                  Reply.status().render());
+    if (Reply.value().Results != Want)
+      return Fail("batch " + std::to_string(B) +
+                  ": result bytes diverge from the local module");
+  }
+
+  // Counters: the server session must have done exactly the same work.
+  Expected<StatsReply> Stats = C.sessionStats(SessionId);
+  if (!Stats)
+    return Fail("stats: " + Stats.status().render());
+  WorkCounters Local = Gen.module().counters();
+  const WorkCounters &Remote = Stats.value().Session.Counters;
+  if (Remote.CheckCalls != Local.CheckCalls ||
+      Remote.CheckUnits != Local.CheckUnits ||
+      Remote.AssignCalls != Local.AssignCalls ||
+      Remote.AssignUnits != Local.AssignUnits ||
+      Remote.FreeCalls != Local.FreeCalls ||
+      Remote.FreeUnits != Local.FreeUnits ||
+      Remote.AssignFreeCalls != Local.AssignFreeCalls ||
+      Remote.AssignFreeUnits != Local.AssignFreeUnits ||
+      Remote.TransitionUnits != Local.TransitionUnits)
+    return Fail("WorkCounters diverge from the local module");
+  if (Stats.value().Session.LiveInstances != Gen.liveInstances())
+    return Fail("live-instance count diverges");
+
+  // Occupancy probe: a Check over every (op, cycle) in the window proves
+  // the occupancy itself (not just the sampled results) is identical.
+  const bool Modulo = Config.Mode == QueryConfig::Modulo;
+  const int ProbeBase = Modulo ? 0 : Config.MinCycle;
+  const int ProbeSpan = Modulo ? Config.ModuloII : 64;
+  BatchRequest Probe;
+  Probe.SessionId = SessionId;
+  std::vector<uint8_t> ProbeExpected;
+  for (OpId Op = 0; Op < Reduced.numOperations(); ++Op)
+    for (int D = 0; D < ProbeSpan; ++D) {
+      Probe.Events.push_back(
+          {Verb::Check, static_cast<uint32_t>(Op), ProbeBase + D, 0});
+      ProbeExpected.push_back(Gen.mutableModule().check(Op, ProbeBase + D)
+                                  ? 1
+                                  : 0);
+    }
+  Expected<BatchReply> ProbeReply = C.runBatch(Probe);
+  if (!ProbeReply)
+    return Fail("probe: " + ProbeReply.status().render());
+  if (ProbeReply.value().Results != ProbeExpected)
+    return Fail("occupancy probe diverges from the local module");
+
+  if (Status S = C.closeSession(SessionId); !S)
+    return Fail("close: " + S.render());
+  Out.Ok = true;
+}
+
+void runDifferential(const std::string &MachineName,
+                     const MachineModel &Model, const QueryConfig &Config,
+                     size_t NumClients, size_t Batches, size_t BatchLen) {
+  ServerOptions Options;
+  Options.SocketPath = uniqueSocket("conc");
+  Options.Workers = 4;
+  Expected<std::unique_ptr<RmdServer>> Server =
+      RmdServer::start(std::move(Options));
+  ASSERT_TRUE(bool(Server)) << Server.status().render();
+
+  MachineDescription Reduced = reducedFor(Model);
+  std::vector<ClientOutcome> Outcomes(NumClients);
+  std::vector<std::thread> Threads;
+  for (size_t I = 0; I < NumClients; ++I)
+    Threads.emplace_back(runTenant, Server.value()->socketPath(),
+                         MachineName, std::cref(Reduced), std::cref(Config),
+                         /*Seed=*/0x5eed0000 + I, Batches, BatchLen,
+                         std::ref(Outcomes[I]));
+  for (std::thread &T : Threads)
+    T.join();
+  for (size_t I = 0; I < NumClients; ++I)
+    EXPECT_TRUE(Outcomes[I].Ok) << "client " << I << ": " << Outcomes[I].What;
+
+  EXPECT_EQ(Server.value()->sessionCount(), 0u);
+  Server.value()->stop();
+}
+
+TEST(ServerConcurrency, SingleClientLinearMatchesLocal) {
+  runDifferential("cydra5", makeCydra5(), QueryConfig::linear(0),
+                  /*NumClients=*/1, /*Batches=*/16, /*BatchLen=*/256);
+}
+
+TEST(ServerConcurrency, FourClientsLinearMatchLocal) {
+  runDifferential("cydra5", makeCydra5(), QueryConfig::linear(0),
+                  /*NumClients=*/4, /*Batches=*/12, /*BatchLen=*/192);
+}
+
+TEST(ServerConcurrency, SixteenClientsLinearMatchLocal) {
+  runDifferential("cydra5", makeCydra5(), QueryConfig::linear(0),
+                  /*NumClients=*/16, /*Batches=*/6, /*BatchLen=*/128);
+}
+
+TEST(ServerConcurrency, FourClientsModuloSharedArenaMatchLocal) {
+  // All four sessions share one modulo pattern arena (same machine, same
+  // II): the strongest aliasing case for the arena refactor.
+  runDifferential("cydra5", makeCydra5(), QueryConfig::modulo(8),
+                  /*NumClients=*/4, /*Batches=*/12, /*BatchLen=*/192);
+}
+
+TEST(ServerConcurrency, SixteenClientsModuloMatchLocal) {
+  runDifferential("mips-r3000", makeMipsR3000(), QueryConfig::modulo(6),
+                  /*NumClients=*/16, /*Batches=*/6, /*BatchLen=*/128);
+}
+
+TEST(ServerConcurrency, MixedConfigsShareOneMachine) {
+  // Linear and modulo sessions of the same machine at once: different
+  // arenas, one registry entry; nothing may bleed between them.
+  ServerOptions Options;
+  Options.SocketPath = uniqueSocket("mixed");
+  Options.Workers = 4;
+  Expected<std::unique_ptr<RmdServer>> Server =
+      RmdServer::start(std::move(Options));
+  ASSERT_TRUE(bool(Server)) << Server.status().render();
+
+  MachineModel Model = makeCydra5();
+  MachineDescription Reduced = reducedFor(Model);
+  QueryConfig Linear = QueryConfig::linear(0);
+  QueryConfig Modulo = QueryConfig::modulo(11);
+
+  std::vector<ClientOutcome> Outcomes(8);
+  std::vector<std::thread> Threads;
+  for (size_t I = 0; I < 8; ++I)
+    Threads.emplace_back(runTenant, Server.value()->socketPath(),
+                         std::string("cydra5"), std::cref(Reduced),
+                         std::cref(I % 2 ? Modulo : Linear),
+                         /*Seed=*/0xabc000 + I, /*Batches=*/8,
+                         /*BatchLen=*/128, std::ref(Outcomes[I]));
+  for (std::thread &T : Threads)
+    T.join();
+  for (size_t I = 0; I < 8; ++I)
+    EXPECT_TRUE(Outcomes[I].Ok) << "client " << I << ": " << Outcomes[I].What;
+  EXPECT_EQ(Server.value()->sessionCount(), 0u);
+}
+
+TEST(ServerConcurrency, SessionsArePinnedToTheirConnection) {
+  // A second connection must not be able to touch (or even probe) a
+  // session opened by the first.
+  ServerOptions Options;
+  Options.SocketPath = uniqueSocket("pin");
+  Options.Workers = 2;
+  Expected<std::unique_ptr<RmdServer>> Server =
+      RmdServer::start(std::move(Options));
+  ASSERT_TRUE(bool(Server)) << Server.status().render();
+
+  Expected<std::unique_ptr<RmdClient>> A =
+      RmdClient::connect(Server.value()->socketPath(), 300000);
+  Expected<std::unique_ptr<RmdClient>> B =
+      RmdClient::connect(Server.value()->socketPath(), 300000);
+  ASSERT_TRUE(bool(A));
+  ASSERT_TRUE(bool(B));
+
+  Expected<LoadMachineReply> M = A.value()->loadMachine("cydra5");
+  ASSERT_TRUE(bool(M));
+  OpenSessionRequest Req;
+  Req.MachineId = M.value().MachineId;
+  Expected<OpenSessionReply> Open = A.value()->openSession(Req);
+  ASSERT_TRUE(bool(Open));
+
+  BatchRequest Batch;
+  Batch.SessionId = Open.value().SessionId;
+  Batch.Events.push_back({Verb::Check, 0, 0, 0});
+  Expected<BatchReply> Stolen = B.value()->runBatch(Batch);
+  ASSERT_FALSE(bool(Stolen));
+  EXPECT_EQ(Stolen.status().code(), ErrorCode::ProtocolError);
+
+  // The owner can still use it.
+  Expected<BatchReply> Own = A.value()->runBatch(Batch);
+  EXPECT_TRUE(bool(Own)) << Own.status().render();
+
+  // Dropping the owning connection reaps the session.
+  A.value().reset();
+  for (int Spin = 0; Spin < 200 && Server.value()->sessionCount(); ++Spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(Server.value()->sessionCount(), 0u);
+}
+
+TEST(ServerConcurrency, OverloadedIsStructuredNotFatal) {
+  // A tiny queue with slow drain: concurrent pings may be rejected with
+  // Overloaded, but every rejection is a structured reply and the server
+  // keeps serving afterwards.
+  ServerOptions Options;
+  Options.SocketPath = uniqueSocket("ovl");
+  Options.Workers = 1;
+  Options.QueueCapacity = 1;
+  Expected<std::unique_ptr<RmdServer>> Server =
+      RmdServer::start(std::move(Options));
+  ASSERT_TRUE(bool(Server)) << Server.status().render();
+
+  std::atomic<int> OkCount{0}, OverloadCount{0}, OtherCount{0};
+  std::vector<std::thread> Threads;
+  for (int I = 0; I < 8; ++I)
+    Threads.emplace_back([&, I] {
+      Expected<std::unique_ptr<RmdClient>> C =
+          RmdClient::connect(Server.value()->socketPath(), 300000);
+      if (!C) {
+        OtherCount.fetch_add(1);
+        return;
+      }
+      for (int J = 0; J < 50; ++J) {
+        Status S = C.value()->ping();
+        if (S.isOk())
+          OkCount.fetch_add(1);
+        else if (S.code() == ErrorCode::Overloaded)
+          OverloadCount.fetch_add(1);
+        else
+          OtherCount.fetch_add(1);
+      }
+      (void)I;
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(OtherCount.load(), 0);
+  EXPECT_GT(OkCount.load(), 0);
+  // Whatever was rejected must be visible in the server's own tally.
+  EXPECT_EQ(Server.value()->overloadRejections(),
+            static_cast<uint64_t>(OverloadCount.load()));
+
+  // Still alive and well after the storm.
+  Expected<std::unique_ptr<RmdClient>> C =
+      RmdClient::connect(Server.value()->socketPath(), 300000);
+  ASSERT_TRUE(bool(C));
+  EXPECT_TRUE(C.value()->ping().isOk());
+}
+
+} // namespace

@@ -26,6 +26,15 @@ def entry(machine, reduce_ms=1.0, disc=50.0, bitv=100.0):
     }
 
 
+def server_entry(machine, p50=100.0, p99=500.0, mqps=8.0):
+    return {
+        "machine": machine,
+        "server_p50_us": p50,
+        "server_p99_us": p99,
+        "server_mqps": mqps,
+    }
+
+
 def doc(machines):
     return {"schema": "rmd-bench-v1", "machines": machines}
 
@@ -100,6 +109,34 @@ def main():
     slower = copy.deepcopy(base)
     slower["machines"][1]["query_mqps_bitvector"] = 10.0
     ok &= check("ordinary regression", run(base, slower), 1, "REGRESSED")
+
+    # Server documents: a metric absent from BOTH sides is skipped, so a
+    # pure server_throughput document diffs cleanly against itself even
+    # though it carries none of the query metrics.
+    sbase = doc([server_entry("fig1"), server_entry("cydra5")])
+    ok &= check("server-only identical", run(sbase, copy.deepcopy(sbase)), 0)
+
+    # Latency is lower-is-better: a p99 blow-up fails the gate.
+    sworse = copy.deepcopy(sbase)
+    sworse["machines"][0]["server_p99_us"] = 2000.0
+    ok &= check("server p99 regression", run(sbase, sworse), 1, "REGRESSED")
+
+    # Throughput is higher-is-better: an aggregate Mq/s collapse fails.
+    sslow = copy.deepcopy(sbase)
+    sslow["machines"][1]["server_mqps"] = 1.0
+    ok &= check("server mqps regression", run(sbase, sslow), 1, "REGRESSED")
+
+    # Lower latency is an improvement, not a regression.
+    sfast = copy.deepcopy(sbase)
+    sfast["machines"][0]["server_p50_us"] = 10.0
+    sfast["machines"][0]["server_p99_us"] = 50.0
+    ok &= check("server latency improvement", run(sbase, sfast), 0)
+
+    # Dropping a server metric from the current document alone still fails.
+    snokey = copy.deepcopy(sbase)
+    del snokey["machines"][0]["server_mqps"]
+    ok &= check("server metric key dropped", run(sbase, snokey), 1,
+                "missing from current")
 
     return 0 if ok else 1
 
